@@ -1,0 +1,47 @@
+// Ablation D: what the worm header encodings cost on the wire
+// (paper Section 3.3 discusses the trade-off qualitatively).
+//
+// The tree worm carries an N-bit destination string (4 flits at 32
+// nodes) for its whole route; the path worm carries one (node-ID,
+// port-string) field pair per replication switch, stripped as consumed.
+// This bench runs both schemes with header accounting on and off.
+// Expected: small absolute cost at 32 nodes (a few flits against a
+// 128-flit payload), growing with system size for the tree worm.
+#include "bench_common.hpp"
+
+namespace {
+
+double Mean(irmc::SimConfig cfg, irmc::SchemeKind scheme, int size,
+            bool account) {
+  cfg.headers.account = account;
+  irmc::SingleRunSpec spec;
+  spec.cfg = cfg;
+  spec.scheme = scheme;
+  spec.multicast_size = size;
+  spec.topologies = irmc::EnvInt("IRMC_TOPOLOGIES", 10);
+  spec.samples_per_topology = irmc::EnvInt("IRMC_SAMPLES", 4);
+  return RunSingleMulticast(spec).mean_latency;
+}
+
+}  // namespace
+
+int main() {
+  using namespace irmc;
+  std::printf("ablD: wire cost of worm header encodings\n");
+
+  SeriesTable table("ablD header accounting on/off (15-way, cycles)",
+                    {"nodes", "tree_hdr", "tree_nohdr", "path_hdr",
+                     "path_nohdr"});
+  for (int nodes : {32, 64, 128}) {
+    SimConfig cfg;
+    cfg.topology.num_hosts = nodes;
+    cfg.topology.num_switches = nodes / 4;
+    table.AddRow({static_cast<double>(nodes),
+                  Mean(cfg, SchemeKind::kTreeWorm, 15, true),
+                  Mean(cfg, SchemeKind::kTreeWorm, 15, false),
+                  Mean(cfg, SchemeKind::kPathWorm, 15, true),
+                  Mean(cfg, SchemeKind::kPathWorm, 15, false)});
+  }
+  table.Print();
+  return 0;
+}

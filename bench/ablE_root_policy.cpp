@@ -1,0 +1,46 @@
+// Ablation E: spanning-tree root selection.
+//
+// Autonet elects the lowest-ID switch; the up*/down* tree (and with it
+// every scheme's routes, the tree worm's climb to a least common
+// ancestor, and the path worms' down-segment coverage) depends on that
+// choice. This bench compares the Autonet default against max-degree and
+// min-eccentricity roots. Expected: centre-ish roots shorten the worst
+// up segments and help the switch-based schemes slightly; the effect
+// grows with network diameter (more switches).
+#include "bench_common.hpp"
+#include "topology/root_policy.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("ablE: BFS root policy vs single 15-way multicast latency\n");
+  for (int switches : {8, 32}) {
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "ablE panel switches=%d (latency, cycles)", switches);
+    SeriesTable table(title, {"policy_id", "ni-kbinomial", "tree-worm",
+                              "path-worm"});
+    int id = 0;
+    for (RootPolicy policy :
+         {RootPolicy::kLowestId, RootPolicy::kMaxDegree,
+          RootPolicy::kMinEccentricity}) {
+      std::vector<double> row{static_cast<double>(id)};
+      for (SchemeKind scheme :
+           {SchemeKind::kNiKBinomial, SchemeKind::kTreeWorm,
+            SchemeKind::kPathWorm}) {
+        SingleRunSpec spec;
+        spec.cfg.topology.num_switches = switches;
+        spec.scheme = scheme;
+        spec.multicast_size = 15;
+        spec.topologies = EnvInt("IRMC_TOPOLOGIES", 10);
+        spec.samples_per_topology = EnvInt("IRMC_SAMPLES", 4);
+        spec.root_policy = policy;
+        row.push_back(RunSingleMulticast(spec).mean_latency);
+      }
+      table.AddRow(row);
+      std::printf("policy %d = %s\n", id, ToString(policy));
+      ++id;
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared sweep helpers for the figure-reproduction benches.
+//
+// Scaling knobs (environment variables):
+//   IRMC_TOPOLOGIES  topologies per single-multicast data point (default 10)
+//   IRMC_SAMPLES     (source, destination-set) draws per topology (default 4)
+//   IRMC_LOAD_TOPOS  topologies per load data point (default 2)
+//   IRMC_HORIZON     load-run generation horizon in cycles (default 150000)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/load_runner.hpp"
+#include "core/series.hpp"
+#include "core/single_runner.hpp"
+
+namespace irmc::bench {
+
+inline const std::vector<SchemeKind>& AllSchemes() {
+  static const std::vector<SchemeKind> kSchemes{
+      SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+      SchemeKind::kTreeWorm, SchemeKind::kPathWorm};
+  return kSchemes;
+}
+
+inline std::vector<std::string> SchemeColumns(const std::string& x_label) {
+  std::vector<std::string> cols{x_label};
+  for (SchemeKind k : AllSchemes()) cols.emplace_back(ToString(k));
+  return cols;
+}
+
+/// One single-multicast panel: latency per scheme over multicast sizes.
+inline SeriesTable SingleMulticastPanel(const std::string& title,
+                                        const SimConfig& cfg,
+                                        const std::vector<int>& sizes) {
+  SeriesTable table(title, SchemeColumns("mcast_size"));
+  const int topologies = EnvInt("IRMC_TOPOLOGIES", 10);
+  const int samples = EnvInt("IRMC_SAMPLES", 4);
+  for (int size : sizes) {
+    std::vector<double> row{static_cast<double>(size)};
+    for (SchemeKind scheme : AllSchemes()) {
+      SingleRunSpec spec;
+      spec.cfg = cfg;
+      spec.scheme = scheme;
+      spec.multicast_size = size;
+      spec.topologies = topologies;
+      spec.samples_per_topology = samples;
+      row.push_back(RunSingleMulticast(spec).mean_latency);
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+/// One load panel: mean latency per scheme over effective applied loads;
+/// saturated points are tagged "sat".
+inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg,
+                             int degree, const std::vector<double>& loads) {
+  SeriesTable table(title, SchemeColumns("eff_load"));
+  const int topologies = EnvInt("IRMC_LOAD_TOPOS", 2);
+  const auto horizon = static_cast<Cycles>(EnvInt("IRMC_HORIZON", 150'000));
+  for (double load : loads) {
+    std::vector<double> row{load};
+    std::vector<bool> saturated;
+    for (SchemeKind scheme : AllSchemes()) {
+      LoadRunSpec spec;
+      spec.cfg = cfg;
+      spec.scheme = scheme;
+      spec.degree = degree;
+      spec.effective_load = load;
+      spec.topologies = topologies;
+      spec.horizon = horizon;
+      spec.warmup = horizon / 10;
+      const LoadRunResult r = RunLoadSweepPoint(spec);
+      row.push_back(r.mean_latency);
+      saturated.push_back(r.saturated);
+    }
+    table.AddRow(row);
+    for (std::size_t i = 0; i < saturated.size(); ++i)
+      if (saturated[i]) table.TagLastCell(i + 1, "sat");
+  }
+  return table;
+}
+
+inline const std::vector<int>& DefaultSizes() {
+  static const std::vector<int> kSizes{2, 4, 8, 15, 23, 31};
+  return kSizes;
+}
+
+inline const std::vector<double>& DefaultLoads() {
+  static const std::vector<double> kLoads{0.05, 0.15, 0.3, 0.45,
+                                          0.6,  0.75, 0.9};
+  return kLoads;
+}
+
+}  // namespace irmc::bench

@@ -1,0 +1,25 @@
+// Figure 10 (paper Section 4.3.2): multicast latency under increasing
+// load, varying the number of switches (32 nodes fixed). Panels:
+// switches in {8 (default), 16, 32} for 8-way and 16-way multicasts.
+//
+// Expected shape: with more switches the path-based scheme's saturation
+// point falls toward the NI-based scheme's; the tree worm is nearly
+// unaffected and saturates much later.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig10: mean multicast latency (cycles) vs effective applied "
+              "load, panels over switch count and multicast degree\n");
+  for (int switches : {8, 16, 32}) {
+    for (int degree : {8, 16}) {
+      SimConfig cfg;
+      cfg.topology.num_switches = switches;
+      char title[96];
+      std::snprintf(title, sizeof title, "fig10 panel switches=%d %d-way",
+                    switches, degree);
+      bench::LoadPanel(title, cfg, degree, bench::DefaultLoads()).Print();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 11 (paper Section 4.3.3): multicast latency under increasing
+// load, varying message length. Panels: message in {128 (default), 512,
+// 1024} flits for 8-way and 16-way multicasts.
+//
+// Expected shape: the tree worm wins at every length. Longer messages
+// add traffic for the multi-phase schemes (the NI tree injects k copies
+// of every packet per level; each path phase stores-and-forwards the
+// whole message), pulling their saturation points down.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig11: mean multicast latency (cycles) vs effective applied "
+              "load, panels over message length and multicast degree\n");
+  for (int flits : {128, 512, 1024}) {
+    for (int degree : {8, 16}) {
+      SimConfig cfg;
+      cfg.message = MessageShape::FromMessageFlits(flits, 128);
+      char title[96];
+      std::snprintf(title, sizeof title, "fig11 panel message=%d flits %d-way",
+                    flits, degree);
+      bench::LoadPanel(title, cfg, degree, bench::DefaultLoads()).Print();
+    }
+  }
+  return 0;
+}

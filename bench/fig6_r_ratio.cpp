@@ -1,0 +1,25 @@
+// Figure 6 (paper Section 4.2.1): effect of R = o_host / o_ni on single
+// multicast latency. One panel per R in {0.5, 1 (default), 2, 4}, i.e.
+// o_ni in {1000, 500, 250, 125} cycles at the default o_host = 500.
+//
+// Expected shape: tree worm best everywhere and almost flat in R; the
+// NI-based scheme improves steeply as R grows and overtakes the
+// path-based scheme between R = 1 and R = 2.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig6: single multicast latency (cycles) vs multicast size, "
+              "panels over R = o_host/o_ni\n");
+  for (double r : {0.5, 1.0, 2.0, 4.0}) {
+    SimConfig cfg;
+    cfg.host.SetRatio(r);
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "fig6 panel R=%.1f (o_host=%lld, o_ni=%lld)", r,
+                  static_cast<long long>(cfg.host.o_host),
+                  static_cast<long long>(cfg.host.o_ni));
+    bench::SingleMulticastPanel(title, cfg, bench::DefaultSizes()).Print();
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 7 (paper Section 4.2.2): effect of the number of switches on
+// single multicast latency, system size fixed at 32 nodes. One panel per
+// switch count in {8 (default), 16, 32}.
+//
+// Expected shape: as destinations spread over more switches, the
+// path-based scheme needs more worms and phases and degrades; the
+// NI-based and tree-based schemes stay nearly flat (cut-through makes
+// the longer routes almost free).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig7: single multicast latency (cycles) vs multicast size, "
+              "panels over switch count (32 nodes fixed)\n");
+  for (int switches : {8, 16, 32}) {
+    SimConfig cfg;
+    cfg.topology.num_switches = switches;
+    char title[96];
+    std::snprintf(title, sizeof title, "fig7 panel switches=%d", switches);
+    bench::SingleMulticastPanel(title, cfg, bench::DefaultSizes()).Print();
+  }
+  return 0;
+}

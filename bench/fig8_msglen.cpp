@@ -1,0 +1,26 @@
+// Figure 8 (paper Section 4.2.3): effect of message length on single
+// multicast latency. One panel per message length in {128 (default),
+// 256, 512, 1024} flits; messages longer than the 128-flit packet split
+// into multiple packets.
+//
+// Expected shape: each path-worm phase waits for the whole message
+// (store-and-forward per phase) while FPFS forwards per packet, so the
+// NI-based scheme gains on the path-based scheme as messages grow.
+// See EXPERIMENTS.md for where this reproduces and where our physical
+// per-copy injection accounting bounds it.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig8: single multicast latency (cycles) vs multicast size, "
+              "panels over message length (128-flit packets)\n");
+  for (int flits : {128, 256, 512, 1024}) {
+    SimConfig cfg;
+    cfg.message = MessageShape::FromMessageFlits(flits, 128);
+    char title[96];
+    std::snprintf(title, sizeof title, "fig8 panel message=%d flits (%d pkts)",
+                  flits, cfg.message.num_packets);
+    bench::SingleMulticastPanel(title, cfg, bench::DefaultSizes()).Print();
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 9 (paper Section 4.3.1): multicast latency under increasing
+// multicast load, varying R. Panels: R in {0.5, 1 (default), 4} for
+// 8-way and 16-way multicasts; x = effective applied load.
+//
+// Expected shape: the tree worm saturates latest everywhere. At
+// R <= 0.5 the NI-based scheme is worst; past R ~ 1 it catches up with
+// (and under contention can beat) the path-based scheme because it
+// spreads receive times instead of delivering to every destination at
+// once.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace irmc;
+  std::printf("fig9: mean multicast latency (cycles) vs effective applied "
+              "load, panels over R and multicast degree\n");
+  for (double r : {0.5, 1.0, 4.0}) {
+    for (int degree : {8, 16}) {
+      SimConfig cfg;
+      cfg.host.SetRatio(r);
+      char title[96];
+      std::snprintf(title, sizeof title, "fig9 panel R=%.1f %d-way", r,
+                    degree);
+      bench::LoadPanel(title, cfg, degree, bench::DefaultLoads()).Print();
+    }
+  }
+  return 0;
+}

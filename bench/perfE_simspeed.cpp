@@ -1,0 +1,86 @@
+// Simulator performance (google-benchmark): event throughput of the VCT
+// engine, topology construction, and plan construction. Not a paper
+// figure — this guards the harness's own speed so the load sweeps stay
+// tractable.
+#include <benchmark/benchmark.h>
+
+#include "core/executor.hpp"
+#include "core/load_runner.hpp"
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/system.hpp"
+
+namespace {
+
+using namespace irmc;
+
+void BM_TopologyBuild(benchmark::State& state) {
+  TopologySpec spec;
+  spec.num_switches = static_cast<int>(state.range(0));
+  spec.num_hosts = 4 * spec.num_switches;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto sys = System::Build(spec, seed++);
+    benchmark::DoNotOptimize(sys);
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PlanConstruction(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  const auto scheme = MakeScheme(kind, cfg.host);
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n <= 15; ++n) dests.push_back(n);
+  for (auto _ : state) {
+    auto plan = scheme->Plan(*sys, 0, dests, cfg.message, cfg.headers);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanConstruction)->DenseRange(0, 3);
+
+void BM_SingleMulticast(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  const auto scheme = MakeScheme(kind, cfg.host);
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n <= 15; ++n) dests.push_back(n);
+  for (auto _ : state) {
+    auto result = PlayOnce(
+        *sys, cfg, scheme->Plan(*sys, 0, dests, cfg.message, cfg.headers));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SingleMulticast)->DenseRange(0, 3);
+
+void BM_LoadedFabricEventRate(benchmark::State& state) {
+  // Events per second of the VCT engine under open multicast load.
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Engine engine;
+    McastDriver driver(engine, *sys, cfg);
+    const auto scheme = MakeScheme(SchemeKind::kTreeWorm, cfg.host);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      auto draw = rng.SampleWithoutReplacement(32, 9);
+      std::vector<NodeId> dests;
+      for (std::size_t j = 1; j < draw.size(); ++j)
+        dests.push_back(static_cast<NodeId>(draw[j]));
+      driver.Launch(scheme->Plan(*sys, static_cast<NodeId>(draw[0]), dests,
+                                 cfg.message, cfg.headers),
+                    static_cast<Cycles>(rng.NextBelow(50'000)),
+                    [](const MulticastResult&) {});
+    }
+    engine.RunToQuiescence();
+    events += engine.events_executed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoadedFabricEventRate);
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Collectives demo: the paper motivates multicast as the substrate for
+// collective communication (MPI-style broadcast, barrier, reduction).
+// This example builds those collectives on each multicast scheme and
+// shows how the scheme choice propagates into collective latency.
+//
+//   $ ./collectives_demo
+#include <cstdio>
+
+#include "collectives/collectives.hpp"
+#include "topology/system.hpp"
+
+int main() {
+  using namespace irmc;
+  SimConfig cfg;
+  const auto sys = System::Build(cfg.topology, 123);
+
+  std::printf("collectives over %d nodes (latencies in cycles; %g ns "
+              "cycle)\n\n",
+              sys->num_nodes(), cfg.cycle_ns);
+  std::printf("%-14s %12s %12s %12s\n", "mcast scheme", "broadcast",
+              "barrier", "allreduce");
+  for (SchemeKind kind :
+       {SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+        SchemeKind::kTreeWorm, SchemeKind::kPathWorm}) {
+    const Cycles bcast = RunBroadcast(*sys, cfg, kind, 0);
+    const Cycles barrier = RunBarrier(*sys, cfg, kind);
+    const Cycles allreduce = RunAllReduce(*sys, cfg, kind, /*compute=*/100);
+    std::printf("%-14s %12lld %12lld %12lld\n", ToString(kind),
+                static_cast<long long>(bcast),
+                static_cast<long long>(barrier),
+                static_cast<long long>(allreduce));
+  }
+  std::printf("\nThe gather half of barrier/allreduce is unicast-bound and "
+              "identical across rows; the release/broadcast half shows the "
+              "multicast scheme's advantage.\n");
+  return 0;
+}

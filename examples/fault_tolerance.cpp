@@ -1,0 +1,67 @@
+// Fault tolerance: the irregular-network resilience story the paper's
+// introduction tells. Generate a network, find which links it can lose,
+// fail one, reconfigure Autonet-style (new BFS tree, new up/down
+// orientation, new routing tables), and show multicast still works —
+// with the latency cost of the lost capacity.
+//
+//   $ ./fault_tolerance [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/deadlock_check.hpp"
+#include "topology/fault.hpp"
+#include "topology/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace irmc;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, seed);
+  const auto critical = CriticalLinks(g);
+  std::printf("topology seed %llu: %d links, %zu critical (bridges)\n",
+              static_cast<unsigned long long>(seed), g.NumLinks(),
+              critical.size());
+
+  SimConfig cfg;
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n <= 15; ++n) dests.push_back(n);
+  const auto scheme = MakeScheme(SchemeKind::kTreeWorm, cfg.host);
+
+  System intact{Graph(g)};
+  const auto before = PlayOnce(
+      intact, cfg, scheme->Plan(intact, 0, dests, cfg.message, cfg.headers));
+  std::printf("intact network: 15-way tree-worm multicast in %lld cycles\n",
+              static_cast<long long>(before.Latency()));
+
+  int shown = 0;
+  for (const LinkRef& link : AllLinks(g)) {
+    auto degraded_graph = WithoutLink(g, link.sw, link.port);
+    if (!degraded_graph.has_value()) {
+      std::printf("  link sw%d.p%d: CRITICAL - losing it would partition "
+                  "the network\n",
+                  link.sw, link.port);
+      continue;
+    }
+    if (shown >= 4) continue;  // a few survivable examples suffice
+    ++shown;
+    System degraded{std::move(*degraded_graph)};
+    // Reconfiguration must preserve deadlock freedom.
+    const auto check = CheckChannelDependencies(degraded);
+    const auto after = PlayOnce(
+        degraded, cfg,
+        scheme->Plan(degraded, 0, dests, cfg.message, cfg.headers));
+    std::printf("  link sw%d.p%d failed -> reconfigured: multicast %lld "
+                "cycles (%+lld), dependency graph %s\n",
+                link.sw, link.port,
+                static_cast<long long>(after.Latency()),
+                static_cast<long long>(after.Latency() - before.Latency()),
+                check.acyclic ? "acyclic (deadlock-free)" : "CYCLIC!");
+  }
+  std::printf("\nEvery reconfigured network re-derives its BFS tree, "
+              "up*/down* orientation, routing tables and reachability "
+              "strings from scratch — the Autonet model.\n");
+  return 0;
+}

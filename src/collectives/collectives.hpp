@@ -1,0 +1,34 @@
+// Collective operations built on the multicast primitive (extension).
+//
+// The paper motivates multicast as the building block for collective
+// communication (barrier synchronisation, reduction, MPI collectives);
+// this module demonstrates that use: a barrier is a binomial gather
+// followed by a multicast release, an all-reduce is a combining gather
+// followed by a broadcast of the result, and a broadcast is a multicast
+// to every node. Each runs end-to-end on the simulated fabric with a
+// caller-chosen multicast scheme for the one-to-many phase.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+/// Broadcast from `root` to every other node. Returns completion time
+/// (cycles from operation start until the last node holds the message).
+Cycles RunBroadcast(const System& sys, const SimConfig& cfg,
+                    SchemeKind scheme, NodeId root);
+
+/// Barrier across all nodes: binomial gather to node 0, then a release
+/// multicast with `release_scheme`. Returns completion time for the last
+/// node to observe the release.
+Cycles RunBarrier(const System& sys, const SimConfig& cfg,
+                  SchemeKind release_scheme);
+
+/// All-reduce: combining binomial gather to node 0 (each merge costs
+/// `compute_per_merge` host cycles), then broadcast of the result.
+Cycles RunAllReduce(const System& sys, const SimConfig& cfg,
+                    SchemeKind bcast_scheme, Cycles compute_per_merge);
+
+}  // namespace irmc

@@ -1,0 +1,87 @@
+#include "collectives/groups.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+GroupManager::GroupManager(const System& sys, MessageShape shape,
+                           HeaderSizing headers, HostParams host)
+    : sys_(sys), shape_(shape), headers_(headers), host_(host) {}
+
+GroupId GroupManager::CreateGroup(const std::vector<NodeId>& members) {
+  IRMC_EXPECT(!members.empty());
+  Group g;
+  g.members = members;
+  std::sort(g.members.begin(), g.members.end());
+  IRMC_EXPECT(std::adjacent_find(g.members.begin(), g.members.end()) ==
+              g.members.end());
+  IRMC_EXPECT(g.members.front() >= 0 &&
+              g.members.back() < sys_.num_nodes());
+  groups_.push_back(std::move(g));
+  return static_cast<GroupId>(groups_.size()) - 1;
+}
+
+const std::vector<NodeId>& GroupManager::Members(GroupId group) const {
+  IRMC_EXPECT(group >= 0 &&
+              group < static_cast<GroupId>(groups_.size()));
+  return groups_[static_cast<std::size_t>(group)].members;
+}
+
+void GroupManager::Join(GroupId group, NodeId node) {
+  IRMC_EXPECT(node >= 0 && node < sys_.num_nodes());
+  Group& g = groups_[static_cast<std::size_t>(group)];
+  auto it = std::lower_bound(g.members.begin(), g.members.end(), node);
+  if (it != g.members.end() && *it == node) return;
+  g.members.insert(it, node);
+  ++g.epoch;
+  DropStalePlans(group);
+}
+
+void GroupManager::Leave(GroupId group, NodeId node) {
+  Group& g = groups_[static_cast<std::size_t>(group)];
+  auto it = std::lower_bound(g.members.begin(), g.members.end(), node);
+  if (it == g.members.end() || *it != node) return;
+  g.members.erase(it);
+  ++g.epoch;
+  DropStalePlans(group);
+}
+
+void GroupManager::DropStalePlans(GroupId group) {
+  const std::int64_t current =
+      groups_[static_cast<std::size_t>(group)].epoch;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.group == group && it->first.epoch != current)
+      it = cache_.erase(it);
+    else
+      ++it;
+  }
+}
+
+McastPlan GroupManager::PlanFor(GroupId group, NodeId root,
+                                SchemeKind scheme) {
+  IRMC_EXPECT(group >= 0 &&
+              group < static_cast<GroupId>(groups_.size()));
+  const Group& g = groups_[static_cast<std::size_t>(group)];
+  IRMC_EXPECT(std::binary_search(g.members.begin(), g.members.end(), root));
+  IRMC_EXPECT(g.members.size() >= 2);  // someone to multicast to
+
+  const Key key{group, g.epoch, root, scheme};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  std::vector<NodeId> dests;
+  for (NodeId n : g.members)
+    if (n != root) dests.push_back(n);
+  McastPlan plan =
+      MakeScheme(scheme, host_)->Plan(sys_, root, dests, shape_, headers_);
+  plan.shape = shape_;
+  cache_.emplace(key, plan);
+  return plan;
+}
+
+}  // namespace irmc

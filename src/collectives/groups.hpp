@@ -1,0 +1,80 @@
+// Multicast group management with plan caching.
+//
+// MPI-style communicators, DSM sharer sets, and the paper's own framing
+// ("communication among groups of processes") all reuse the same
+// destination set many times. Planning is not free — the k-binomial
+// model evaluation and the MDP-LG route DP run per plan — so a group
+// manager caches one plan per (group epoch, root, scheme) and
+// invalidates on membership change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mcast/scheme.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+using GroupId = std::int32_t;
+
+class GroupManager {
+ public:
+  GroupManager(const System& sys, MessageShape shape, HeaderSizing headers,
+               HostParams host);
+
+  /// Creates a group from distinct member nodes (>= 1 member).
+  GroupId CreateGroup(const std::vector<NodeId>& members);
+
+  /// Current members, ascending.
+  const std::vector<NodeId>& Members(GroupId group) const;
+
+  /// Adds a member (no-op if present). Invalidates cached plans.
+  void Join(GroupId group, NodeId node);
+  /// Removes a member (no-op if absent). Invalidates cached plans.
+  void Leave(GroupId group, NodeId node);
+
+  /// Plan for multicasting from `root` to every *other* member of the
+  /// group. `root` must be a member (an external root would model a
+  /// non-member multicast — create a group for that set instead).
+  /// Cached: repeated calls with the same (group, root, scheme) return
+  /// a copy of the same plan without re-planning.
+  McastPlan PlanFor(GroupId group, NodeId root, SchemeKind scheme);
+
+  /// Cache statistics (tests/diagnostics).
+  std::int64_t cache_hits() const { return hits_; }
+  std::int64_t cache_misses() const { return misses_; }
+
+ private:
+  struct Group {
+    std::vector<NodeId> members;
+    std::int64_t epoch = 0;  ///< bumped on every membership change
+  };
+  struct Key {
+    GroupId group;
+    std::int64_t epoch;
+    NodeId root;
+    SchemeKind scheme;
+    bool operator<(const Key& o) const {
+      if (group != o.group) return group < o.group;
+      if (epoch != o.epoch) return epoch < o.epoch;
+      if (root != o.root) return root < o.root;
+      return static_cast<int>(scheme) < static_cast<int>(o.scheme);
+    }
+  };
+
+  /// Evicts cached plans made stale by a membership change.
+  void DropStalePlans(GroupId group);
+
+  const System& sys_;
+  MessageShape shape_;
+  HeaderSizing headers_;
+  HostParams host_;
+  std::vector<Group> groups_;
+  std::map<Key, McastPlan> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace irmc

@@ -1,0 +1,71 @@
+#include "common/args.hpp"
+
+#include <cstdlib>
+
+namespace irmc {
+
+Args Args::Parse(int argc, const char* const* argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.values_[key] = argv[i + 1];
+        i += 2;
+      } else {
+        args.values_[key] = "";  // flag
+        ++i;
+      }
+    } else {
+      // Stray positional: record it as an unconsumable key.
+      args.values_["<positional:" + token + ">"] = "";
+      ++i;
+    }
+  }
+  return args;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  consumed_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Args::GetInt(const std::string& key, long fallback) const {
+  consumed_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  consumed_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool Args::GetFlag(const std::string& key) const {
+  consumed_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::vector<std::string> Args::UnconsumedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_)
+    if (!consumed_.count(key)) out.push_back(key);
+  return out;
+}
+
+}  // namespace irmc

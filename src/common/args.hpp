@@ -1,0 +1,41 @@
+// Minimal command-line argument parsing for the CLI tool.
+//
+// Supports `--key value`, `--flag`, and one positional command word.
+// Unknown keys are collected so the caller can reject them with a
+// proper message instead of silently ignoring typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace irmc {
+
+class Args {
+ public:
+  /// argv[1] may be a positional command; everything else must be
+  /// --key [value] pairs (a --key followed by another --key or the end
+  /// is a flag).
+  static Args Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  long GetInt(const std::string& key, long fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetFlag(const std::string& key) const;
+
+  /// Keys the caller never consumed; call after all Get*.
+  std::vector<std::string> UnconsumedKeys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;  // flag -> "" sentinel
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,34 @@
+// Lightweight contract checks (Core Guidelines I.6/I.8 style).
+//
+// IRMC_EXPECT checks preconditions, IRMC_ENSURE postconditions/invariants.
+// Both are always on: simulation correctness matters more than the last
+// few percent of speed, and a silently-wrong simulator is worthless.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace irmc::detail {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  std::fprintf(stderr, "irmcsim: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace irmc::detail
+
+#define IRMC_EXPECT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::irmc::detail::ContractFailure("precondition", #cond, __FILE__,     \
+                                      __LINE__);                           \
+  } while (0)
+
+#define IRMC_ENSURE(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::irmc::detail::ContractFailure("invariant", #cond, __FILE__,        \
+                                      __LINE__);                           \
+  } while (0)

@@ -1,0 +1,136 @@
+// Dynamic bitset over node IDs.
+//
+// This is the in-memory form of the paper's "bit-string" headers and
+// reachability strings (Section 3.2.3): bit i set means node i is a
+// member. Sized at construction to the system's node count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace irmc {
+
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(int num_nodes)
+      : num_bits_(num_nodes),
+        words_(static_cast<std::size_t>((num_nodes + 63) / 64), 0) {
+    IRMC_EXPECT(num_nodes >= 0);
+  }
+
+  int capacity() const { return num_bits_; }
+
+  void Set(NodeId n) {
+    CheckIndex(n);
+    words_[WordOf(n)] |= BitOf(n);
+  }
+
+  void Clear(NodeId n) {
+    CheckIndex(n);
+    words_[WordOf(n)] &= ~BitOf(n);
+  }
+
+  bool Test(NodeId n) const {
+    CheckIndex(n);
+    return (words_[WordOf(n)] & BitOf(n)) != 0;
+  }
+
+  bool Empty() const {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  int Count() const {
+    int c = 0;
+    for (auto w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  NodeSet& operator|=(const NodeSet& o) {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  NodeSet& operator&=(const NodeSet& o) {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  /// Remove every member of `o` from this set.
+  NodeSet& Subtract(const NodeSet& o) {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend NodeSet operator|(NodeSet a, const NodeSet& b) { return a |= b; }
+  friend NodeSet operator&(NodeSet a, const NodeSet& b) { return a &= b; }
+
+  bool operator==(const NodeSet& o) const {
+    return num_bits_ == o.num_bits_ && words_ == o.words_;
+  }
+
+  bool Intersects(const NodeSet& o) const {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    return false;
+  }
+
+  bool IsSubsetOf(const NodeSet& o) const {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// Members in ascending order.
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<std::size_t>(Count()));
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(static_cast<NodeId>(i * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  static NodeSet FromVector(int num_nodes, const std::vector<NodeId>& v) {
+    NodeSet s(num_nodes);
+    for (NodeId n : v) s.Set(n);
+    return s;
+  }
+
+  /// Encoded size of the bit-string header in flits (1 flit = 1 byte).
+  int HeaderFlits() const { return (num_bits_ + 7) / 8; }
+
+ private:
+  static std::size_t WordOf(NodeId n) {
+    return static_cast<std::size_t>(n) / 64;
+  }
+  static std::uint64_t BitOf(NodeId n) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(n) % 64);
+  }
+  void CheckIndex(NodeId n) const {
+    IRMC_EXPECT(n >= 0 && n < num_bits_);
+  }
+  void CheckCompat(const NodeSet& o) const {
+    IRMC_EXPECT(num_bits_ == o.num_bits_);
+  }
+
+  int num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,91 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace irmc {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  IRMC_EXPECT(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  IRMC_EXPECT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double mean) {
+  IRMC_EXPECT(mean > 0.0);
+  double u = NextDouble();
+  // Guard against log(0); NextDouble() can return exactly 0.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<std::int64_t> Rng::SampleWithoutReplacement(std::int64_t n,
+                                                        std::int64_t k) {
+  IRMC_EXPECT(n >= 0 && k >= 0 && k <= n);
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    pool[static_cast<std::size_t>(i)] = i;
+  // Partial Fisher-Yates: only the first k positions are needed.
+  for (std::int64_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace irmc

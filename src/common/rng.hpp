@@ -1,0 +1,60 @@
+// Deterministic random number generation for the simulator.
+//
+// We avoid std::mt19937 + distributions because their sequences are not
+// guaranteed identical across standard library implementations; topology
+// generation and traffic must be reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+/// xoshiro256** with a splitmix64 seeder. Small, fast, well-tested
+/// generator suitable for simulation (not cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct elements from [0, n) without replacement.
+  std::vector<std::int64_t> SampleWithoutReplacement(std::int64_t n,
+                                                     std::int64_t k);
+
+  /// Derive an independent child stream (for per-host traffic streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace irmc

@@ -1,0 +1,54 @@
+// Streaming and batch statistics used by the experiment runners.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace irmc {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples. Used for per-run latency statistics in the load runner.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const;  ///< requires count() > 0
+  double max() const;  ///< requires count() > 0
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a stored sample vector; supports quantiles.
+/// Used for across-topology aggregation where we keep all points anyway.
+class SampleSet {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  double Mean() const;
+  /// Linear-interpolated quantile, q in [0,1]. Requires count() > 0.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void SortIfNeeded() const;
+};
+
+}  // namespace irmc

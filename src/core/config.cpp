@@ -1,0 +1,16 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+
+namespace irmc {
+
+int EnvInt(const std::string& name, int fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0) return fallback;
+  return static_cast<int>(value);
+}
+
+}  // namespace irmc

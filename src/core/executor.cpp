@@ -1,0 +1,287 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+
+namespace irmc {
+
+McastDriver::McastDriver(Engine& engine, const System& sys,
+                         const SimConfig& cfg, Tracer* tracer)
+    : engine_(engine), sys_(sys), cfg_(cfg), tracer_(tracer) {
+  nodes_.resize(static_cast<std::size_t>(sys.num_nodes()));
+  fabric_ = std::make_unique<Fabric>(
+      engine, sys, cfg.net,
+      [this](NodeId n, const PacketPtr& pkt, Cycles head, Cycles tail) {
+        OnDeliver(n, pkt, head, tail);
+      },
+      tracer);
+}
+
+std::int64_t McastDriver::Launch(McastPlan plan, Cycles when, DoneFn done,
+                                 DeliveredFn delivered) {
+  IRMC_EXPECT(!plan.dests.empty());
+  const std::int64_t id = next_id_++;
+  auto exec = std::make_unique<Exec>();
+  exec->id = id;
+  exec->plan = std::move(plan);
+  exec->shape = exec->plan.shape.value_or(cfg_.message);
+  exec->start = when;
+  exec->done = std::move(done);
+  exec->delivered = std::move(delivered);
+  exec->remaining = static_cast<int>(exec->plan.dests.size());
+  exec->result.id = id;
+  exec->result.start = when;
+  exec->result.num_dests = exec->remaining;
+  for (std::size_t w = 0; w < exec->plan.worms.size(); ++w)
+    exec->worms_by_sender[exec->plan.worms[w].sender].push_back(
+        static_cast<int>(w));
+  Exec* raw = exec.get();
+  live_.emplace(id, std::move(exec));
+  engine_.ScheduleAt(when, [this, raw]() { StartSource(*raw); });
+  return id;
+}
+
+void McastDriver::StartSource(Exec& exec) {
+  switch (exec.plan.scheme) {
+    case SchemeKind::kUnicastBinomial:
+      SendToChildren(exec, exec.plan.root, engine_.Now());
+      break;
+    case SchemeKind::kNiKBinomial:
+      SmartSourceSend(exec);
+      break;
+    case SchemeKind::kTreeWorm:
+      SendTreeWorms(exec);
+      break;
+    case SchemeKind::kPathWorm:
+      SendWormsOf(exec, exec.plan.root, engine_.Now());
+      break;
+  }
+}
+
+PacketPtr McastDriver::MakeBasePacket(const Exec& exec, int pkt_index) const {
+  auto pkt = std::make_shared<Packet>();
+  pkt->mcast_id = exec.id;
+  pkt->pkt_index = pkt_index;
+  pkt->num_pkts = exec.shape.num_packets;
+  pkt->src = exec.plan.root;
+  pkt->mcast_start = exec.start;
+  pkt->data_flits = exec.shape.packet_flits;
+  return pkt;
+}
+
+void McastDriver::ConventionalSendToOne(Exec& exec, NodeId u, NodeId c,
+                                        Cycles earliest) {
+  TraceHost(TraceKind::kSendStart, exec.id, u, c);
+  NodeRuntime& nr = node(u);
+  const HostParams& hp = cfg_.host;
+  const Cycles h = nr.host_cpu.Reserve(earliest, hp.o_host) + hp.o_host;
+  const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
+  const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  for (int j = 0; j < exec.shape.num_packets; ++j) {
+    const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    auto pkt = MakeBasePacket(exec, j);
+    pkt->kind = HeaderKind::kUnicast;
+    pkt->uni_dest = c;
+    pkt->header_flits = cfg_.headers.UnicastFlits();
+    fabric_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
+  }
+}
+
+void McastDriver::SendToChildren(Exec& exec, NodeId u, Cycles earliest) {
+  const auto& kids = exec.plan.children[static_cast<std::size_t>(u)];
+  for (NodeId c : kids) ConventionalSendToOne(exec, u, c, earliest);
+}
+
+void McastDriver::SmartSourceSend(Exec& exec) {
+  const NodeId u = exec.plan.root;
+  TraceHost(TraceKind::kSendStart, exec.id, u, -1);
+  NodeRuntime& nr = node(u);
+  const HostParams& hp = cfg_.host;
+  const Cycles h = nr.host_cpu.Reserve(engine_.Now(), hp.o_host) + hp.o_host;
+  const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
+  const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  const auto& kids = exec.plan.children[static_cast<std::size_t>(u)];
+  for (int j = 0; j < exec.shape.num_packets; ++j) {
+    const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    for (NodeId c : kids) {
+      const Cycles ready = nr.ni_cpu.Reserve(std::max(ni, dma_done),
+                                             hp.ni_forward_overhead) +
+                           hp.ni_forward_overhead;
+      auto pkt = MakeBasePacket(exec, j);
+      pkt->kind = HeaderKind::kUnicast;
+      pkt->uni_dest = c;
+      pkt->header_flits = cfg_.headers.UnicastFlits();
+      fabric_->InjectFromNi(u, std::move(pkt), ready);
+    }
+  }
+}
+
+void McastDriver::SmartForward(Exec& exec, NodeId u, int pkt_index,
+                               Cycles ni_ready, Cycles tail) {
+  const auto& kids = exec.plan.children[static_cast<std::size_t>(u)];
+  if (kids.empty()) return;
+  NodeRuntime& nr = node(u);
+  const HostParams& hp = cfg_.host;
+  for (NodeId c : kids) {
+    // The replica can leave once the packet has fully arrived at the NI
+    // and the NI processor has enqueued the copy.
+    const Cycles ready = nr.ni_cpu.Reserve(std::max(ni_ready, tail),
+                                           hp.ni_forward_overhead) +
+                         hp.ni_forward_overhead;
+    auto pkt = MakeBasePacket(exec, pkt_index);
+    pkt->kind = HeaderKind::kUnicast;
+    pkt->uni_dest = c;
+    pkt->header_flits = cfg_.headers.UnicastFlits();
+    fabric_->InjectFromNi(u, std::move(pkt), ready);
+  }
+}
+
+void McastDriver::SendTreeWorms(Exec& exec) {
+  const NodeId u = exec.plan.root;
+  TraceHost(TraceKind::kSendStart, exec.id, u, -1);
+  NodeRuntime& nr = node(u);
+  const HostParams& hp = cfg_.host;
+  const Cycles h = nr.host_cpu.Reserve(engine_.Now(), hp.o_host) + hp.o_host;
+  const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
+  const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+
+  // Default: one worm addressing the full set; chunked plans carry one
+  // region (and header size) per worm. All worms leave back to back —
+  // still a single phase, one host send overhead.
+  struct Region {
+    NodeSet dests;
+    int header_flits;
+  };
+  std::vector<Region> regions;
+  if (exec.plan.tree_regions.empty()) {
+    regions.push_back(
+        Region{NodeSet::FromVector(sys_.num_nodes(), exec.plan.dests),
+               cfg_.headers.TreeWormFlits(sys_.num_nodes())});
+  } else {
+    for (std::size_t r = 0; r < exec.plan.tree_regions.size(); ++r)
+      regions.push_back(
+          Region{NodeSet::FromVector(sys_.num_nodes(),
+                                     exec.plan.tree_regions[r]),
+                 exec.plan.tree_region_header_flits[r]});
+  }
+
+  for (int j = 0; j < exec.shape.num_packets; ++j) {
+    const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    for (const Region& region : regions) {
+      auto pkt = MakeBasePacket(exec, j);
+      pkt->kind = HeaderKind::kTreeWorm;
+      pkt->tree_dests = region.dests;
+      pkt->header_flits = region.header_flits;
+      fabric_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
+    }
+  }
+}
+
+void McastDriver::SendWormsOf(Exec& exec, NodeId sender, Cycles earliest) {
+  auto it = exec.worms_by_sender.find(sender);
+  if (it == exec.worms_by_sender.end()) return;
+  NodeRuntime& nr = node(sender);
+  const HostParams& hp = cfg_.host;
+  const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  for (int w : it->second) {
+    const auto& worm = exec.plan.worms[static_cast<std::size_t>(w)];
+    // Each worm is a separate message-level send at the sender.
+    TraceHost(TraceKind::kSendStart, exec.id, sender, w);
+    const Cycles h = nr.host_cpu.Reserve(earliest, hp.o_host) + hp.o_host;
+    const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
+    for (int j = 0; j < exec.shape.num_packets; ++j) {
+      const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+      auto pkt = MakeBasePacket(exec, j);
+      pkt->kind = HeaderKind::kPathWorm;
+      pkt->path = worm.route;
+      pkt->path_cursor = 0;
+      pkt->header_flits = worm.header_flits;
+      fabric_->InjectFromNi(sender, std::move(pkt), std::max(ni, dma_done));
+    }
+  }
+}
+
+void McastDriver::OnDeliver(NodeId n, const PacketPtr& pkt, Cycles head,
+                            Cycles tail) {
+  auto it = live_.find(pkt->mcast_id);
+  IRMC_ENSURE(it != live_.end());
+  HandlePacketAt(*it->second, n, pkt, head, tail);
+}
+
+void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
+                                 Cycles head, Cycles tail) {
+  NodeState& st = exec.nstate[n];
+  const bool first = (st.pkts == 0);
+  ++st.pkts;
+  IRMC_ENSURE(st.pkts <= exec.shape.num_packets);
+  NodeRuntime& nr = node(n);
+  const HostParams& hp = cfg_.host;
+
+  // Per-message NI receive overhead on the first packet.
+  const Cycles ni_done =
+      first ? nr.ni_cpu.Reserve(head, hp.o_ni) + hp.o_ni : head;
+
+  // Smart-NI forwarding happens at the NI, before/parallel to host DMA.
+  // A forwarding node's phase costs both the receive and the send o_ni
+  // (paper Section 4.2.1: "every communication phase incurs a receive
+  // overhead of o_n and a send overhead of o_n"); the send-side setup is
+  // per message, on the first packet.
+  if (exec.plan.scheme == SchemeKind::kNiKBinomial &&
+      !exec.plan.children[static_cast<std::size_t>(n)].empty()) {
+    if (hp.ni_discipline == NiDiscipline::kFpfs) {
+      const Cycles fwd_ready =
+          first ? nr.ni_cpu.Reserve(ni_done, hp.o_ni) + hp.o_ni : ni_done;
+      SmartForward(exec, n, pkt->pkt_index, fwd_ready, tail);
+    } else if (st.pkts == exec.shape.num_packets) {
+      // Store-and-forward at message granularity: every packet's copies
+      // are enqueued only once the whole message is at the NI (the
+      // baseline FPFS was shown to beat).
+      const Cycles fwd_ready = nr.ni_cpu.Reserve(ni_done, hp.o_ni) + hp.o_ni;
+      for (int j = 0; j < exec.shape.num_packets; ++j)
+        SmartForward(exec, n, j, fwd_ready, tail);
+    }
+  }
+
+  // DMA the packet up to host memory (packet fully at the NI first).
+  const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  const Cycles dma_done =
+      nr.io_bus.Reserve(std::max(tail, ni_done), dma_dur) + dma_dur;
+  st.last_dma = std::max(st.last_dma, dma_done);
+
+  if (st.pkts == exec.shape.num_packets) {
+    // Whole message in host memory: per-message host receive overhead.
+    const Cycles delivered =
+        nr.host_cpu.Reserve(st.last_dma, hp.o_host) + hp.o_host;
+    const std::int64_t id = exec.id;
+    engine_.ScheduleAt(delivered, [this, id, n, delivered]() {
+      HandleDelivered(id, n, delivered);
+    });
+  }
+}
+
+void McastDriver::HandleDelivered(std::int64_t id, NodeId n, Cycles when) {
+  auto it = live_.find(id);
+  IRMC_ENSURE(it != live_.end());
+  Exec& exec = *it->second;
+  NodeState& st = exec.nstate[n];
+  IRMC_ENSURE(!st.delivered);
+  st.delivered = true;
+  TraceHost(TraceKind::kHostDeliver, id, n, -1);
+  exec.result.deliveries.emplace_back(n, when);
+  exec.result.completion = std::max(exec.result.completion, when);
+  --exec.remaining;
+  if (exec.delivered) exec.delivered(n, when);
+
+  // Forwarding duties after full receipt.
+  if (exec.plan.scheme == SchemeKind::kUnicastBinomial)
+    SendToChildren(exec, n, when);
+  if (exec.plan.scheme == SchemeKind::kPathWorm)
+    SendWormsOf(exec, n, when);
+
+  if (exec.remaining == 0) {
+    if (exec.done) exec.done(exec.result);
+    // Defer destruction: we may still be inside this exec's call chain.
+    engine_.ScheduleAfter(0, [this, id]() { live_.erase(id); });
+  }
+}
+
+}  // namespace irmc

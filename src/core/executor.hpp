@@ -1,0 +1,139 @@
+// Multicast execution: plays McastPlans on the fabric with the host/NI
+// software-overhead model (paper Sections 3.1-3.2, 4.1).
+//
+// Per-node serially-reusable resources:
+//   host CPU — o_host per message sent or received at the host level
+//   NI CPU   — o_ni per message at the NI, plus the per-copy forwarding
+//              cost at a smart NI
+//   I/O bus  — DMA between host memory and NI, shared by sends and
+//              receives (the paper's I/O-bus contention)
+//
+// Scheme behaviours:
+//   uni-binomial — every hop is a full conventional send/receive.
+//   ni-kbinomial — smart NI: on each packet arrival the NI immediately
+//     enqueues replicas for the node's children (FPFS: packet j to every
+//     child before packet j+1) while DMA-ing to the host in parallel.
+//   tree-worm    — source performs one conventional send per packet; the
+//     switches replicate; every destination does a conventional receive.
+//   path-worm    — the source (and later, covered destinations) perform
+//     one conventional send per planned worm; multi-phase behaviour
+//     emerges from receivers forwarding after full message receipt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mcast/scheme.hpp"
+#include "network/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "topology/system.hpp"
+#include "trace/tracer.hpp"
+
+namespace irmc {
+
+struct NodeRuntime {
+  TimelineResource host_cpu;
+  TimelineResource ni_cpu;
+  TimelineResource io_bus;
+};
+
+struct MulticastResult {
+  std::int64_t id = -1;
+  Cycles start = 0;
+  Cycles completion = 0;  ///< last destination's host-level delivery
+  int num_dests = 0;
+  /// (destination, host-level delivery time) pairs, completion order.
+  std::vector<std::pair<NodeId, Cycles>> deliveries;
+
+  Cycles Latency() const { return completion - start; }
+};
+
+/// Owns the fabric, the per-node resources, and all in-flight multicasts.
+class McastDriver {
+ public:
+  using DoneFn = std::function<void(const MulticastResult&)>;
+  /// Per-destination notification: (destination, host delivery time).
+  using DeliveredFn = std::function<void(NodeId, Cycles)>;
+
+  McastDriver(Engine& engine, const System& sys, const SimConfig& cfg,
+              Tracer* tracer = nullptr);
+
+  McastDriver(const McastDriver&) = delete;
+  McastDriver& operator=(const McastDriver&) = delete;
+
+  /// Start a multicast at absolute time `when`; `done` fires at the last
+  /// destination's delivery, `delivered` (optional) at every
+  /// destination's delivery. Returns the multicast id.
+  std::int64_t Launch(McastPlan plan, Cycles when, DoneFn done,
+                      DeliveredFn delivered = nullptr);
+
+  Fabric& fabric() { return *fabric_; }
+  NodeRuntime& node(NodeId n) {
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+  int live_multicasts() const { return static_cast<int>(live_.size()); }
+
+ private:
+  struct NodeState {
+    int pkts = 0;
+    Cycles last_dma = 0;
+    bool delivered = false;
+  };
+  struct Exec {
+    std::int64_t id = -1;
+    McastPlan plan;
+    MessageShape shape;  ///< plan override or the driver's default
+    Cycles start = 0;
+    DoneFn done;
+    DeliveredFn delivered;
+    int remaining = 0;
+    std::unordered_map<NodeId, NodeState> nstate;
+    std::unordered_map<NodeId, std::vector<int>> worms_by_sender;
+    MulticastResult result;
+  };
+
+  void StartSource(Exec& exec);
+  void OnDeliver(NodeId n, const PacketPtr& pkt, Cycles head, Cycles tail);
+  void HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
+                      Cycles head, Cycles tail);
+  void HandleDelivered(std::int64_t id, NodeId n, Cycles when);
+
+  /// Conventional full-message unicast send u -> c (o_host, DMA per
+  /// packet, o_ni, inject), starting no earlier than `earliest`.
+  void ConventionalSendToOne(Exec& exec, NodeId u, NodeId c,
+                             Cycles earliest);
+  /// Send to every planned child of u, sequential at the host CPU.
+  void SendToChildren(Exec& exec, NodeId u, Cycles earliest);
+  /// Smart-NI source: one host send, then FPFS replication at the NI.
+  void SmartSourceSend(Exec& exec);
+  /// Smart-NI intermediate forwarding of one arrived packet.
+  void SmartForward(Exec& exec, NodeId u, int pkt_index, Cycles ni_ready,
+                    Cycles tail);
+  void SendTreeWorms(Exec& exec);
+  void SendWormsOf(Exec& exec, NodeId sender, Cycles earliest);
+
+  PacketPtr MakeBasePacket(const Exec& exec, int pkt_index) const;
+
+  void TraceHost(TraceKind kind, std::int64_t mcast_id, NodeId actor,
+                 std::int32_t detail) {
+    if (tracer_)
+      tracer_->Record(
+          TraceEvent{engine_.Now(), kind, mcast_id, 0, actor, detail});
+  }
+
+  Engine& engine_;
+  const System& sys_;
+  SimConfig cfg_;
+  Tracer* tracer_;
+  std::vector<NodeRuntime> nodes_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unordered_map<std::int64_t, std::unique_ptr<Exec>> live_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace irmc

@@ -1,0 +1,73 @@
+// Multicast latency under increasing applied load (paper Section 4.3).
+//
+// Open-loop traffic: every host generates multicasts of fixed degree d
+// to uniform-random destination sets, with exponential interarrivals
+// calibrated so that the *effective applied load* — the paper's stimulus
+// measure, d copies x message flits per generated multicast, normalised
+// to the 1 flit/cycle host link bandwidth — equals the requested value.
+// Mean multicast latency (generation to last-destination delivery) is
+// measured over multicasts generated after a cold-start interval.
+#pragma once
+
+#include "common/stats.hpp"
+#include "core/config.hpp"
+
+#include "common/types.hpp"
+
+namespace irmc {
+
+/// How destination sets are drawn (the paper uses uniform; the other
+/// patterns probe locality sensitivity).
+enum class DestPattern {
+  kUniform,    ///< degree distinct nodes, uniform over the system
+  kClustered,  ///< nodes of the switches nearest a random anchor switch
+  kHotspot,    ///< a fixed popular subset receives most multicasts
+};
+
+constexpr const char* ToString(DestPattern p) {
+  switch (p) {
+    case DestPattern::kUniform: return "uniform";
+    case DestPattern::kClustered: return "clustered";
+    case DestPattern::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+struct LoadRunSpec {
+  SimConfig cfg;
+  SchemeKind scheme = SchemeKind::kTreeWorm;
+  int degree = 8;                 ///< destinations per multicast
+  double effective_load = 0.2;    ///< d * flits / interarrival (per host)
+  DestPattern pattern = DestPattern::kUniform;
+  /// kHotspot: fraction of multicasts addressed to the popular subset.
+  double hotspot_fraction = 0.8;
+  Cycles warmup = 20'000;         ///< cold-start, not measured
+  Cycles horizon = 300'000;       ///< generation stops here
+  int topologies = 5;
+  /// Multicasts still unfinished at the horizon beyond this fraction of
+  /// completions mark the point as saturated.
+  double saturation_unfinished_frac = 0.5;
+  /// Hard cap on mean latency before declaring saturation.
+  double saturation_latency = 100'000.0;
+};
+
+struct LoadRunResult {
+  double mean_latency = 0.0;  ///< cycles, completed multicasts only
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  long completed = 0;
+  long unfinished = 0;
+  bool saturated = false;
+  /// Delivered payload flits per host per cycle over the generation
+  /// horizon (completed multicasts x degree x message flits, normalised
+  /// like the effective applied load; equals the offered load until
+  /// saturation).
+  double achieved_throughput = 0.0;
+  /// Hottest switch-to-switch link (busy fraction), averaged over
+  /// topologies.
+  double max_link_utilization = 0.0;
+};
+
+LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec);
+
+}  // namespace irmc

@@ -1,0 +1,64 @@
+#include "core/series.hpp"
+
+#include <cstdio>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  IRMC_EXPECT(!columns_.empty());
+}
+
+void SeriesTable::AddRow(const std::vector<double>& values) {
+  IRMC_EXPECT(values.size() == columns_.size());
+  rows_.push_back(values);
+  tags_.emplace_back(columns_.size());
+}
+
+void SeriesTable::TagLastCell(std::size_t col, const std::string& tag) {
+  IRMC_EXPECT(!rows_.empty());
+  IRMC_EXPECT(col < columns_.size());
+  tags_.back()[col] = tag;
+}
+
+void SeriesTable::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (const auto& c : columns_) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      char cell[64];
+      const double v = rows_[r][c];
+      // Small magnitudes (axis values like 0.05) keep two decimals;
+      // large ones (latencies) one.
+      const char* fmt = v < 10.0 && v > -10.0 ? "%.2f" : "%.1f";
+      int n = std::snprintf(cell, sizeof cell, fmt, v);
+      if (!tags_[r][c].empty() && n > 0 &&
+          static_cast<std::size_t>(n) < sizeof cell)
+        std::snprintf(cell + n, sizeof cell - static_cast<std::size_t>(n),
+                      "(%s)", tags_[r][c].c_str());
+      std::printf("%16s", cell);
+    }
+    std::printf("\n");
+  }
+  // CSV block.
+  std::printf("csv,title,%s\n", title_.c_str());
+  std::printf("csv");
+  for (const auto& c : columns_) std::printf(",%s", c.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::printf("csv");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (tags_[r][c].empty())
+        std::printf(",%.3f", rows_[r][c]);
+      else
+        std::printf(",%.3f(%s)", rows_[r][c], tags_[r][c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace irmc

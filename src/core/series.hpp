@@ -1,0 +1,33 @@
+// Paper-style series output for the benchmark harness.
+//
+// Every bench prints (a) a human-readable aligned table and (b) the same
+// rows as CSV on the lines prefixed "csv," for machine consumption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace irmc {
+
+class SeriesTable {
+ public:
+  /// `title` names the figure/table being reproduced; columns[0] is the
+  /// x-axis label.
+  SeriesTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(const std::vector<double>& values);
+  /// Annotate the most recent cell of column `col` (e.g. "sat" marks a
+  /// saturated load point).
+  void TagLastCell(std::size_t col, const std::string& tag);
+
+  /// Writes the aligned table followed by the csv block to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::vector<std::string>> tags_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,56 @@
+#include "core/single_runner.hpp"
+
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace irmc {
+
+MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
+                         McastPlan plan) {
+  Engine engine;
+  McastDriver driver(engine, sys, cfg);
+  std::optional<MulticastResult> result;
+  driver.Launch(std::move(plan), 0,
+                [&result](const MulticastResult& r) { result = r; });
+  engine.RunToQuiescence();
+  IRMC_ENSURE(result.has_value());
+  return *result;
+}
+
+SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
+  IRMC_EXPECT(spec.multicast_size >= 1);
+  IRMC_EXPECT(spec.multicast_size < spec.cfg.topology.num_hosts);
+  const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
+
+  StreamingStats stats;
+  for (int t = 0; t < spec.topologies; ++t) {
+    const auto sys =
+        System::Build(spec.cfg.topology,
+                      spec.cfg.seed + static_cast<std::uint64_t>(t),
+                      spec.root_policy);
+    Rng rng(spec.cfg.seed * 7919 + static_cast<std::uint64_t>(t));
+    for (int s = 0; s < spec.samples_per_topology; ++s) {
+      // Draw source + destinations (distinct, excluding the source).
+      auto draw = rng.SampleWithoutReplacement(sys->num_nodes(),
+                                               spec.multicast_size + 1);
+      const NodeId src = static_cast<NodeId>(draw.front());
+      std::vector<NodeId> dests;
+      for (std::size_t i = 1; i < draw.size(); ++i)
+        dests.push_back(static_cast<NodeId>(draw[i]));
+
+      McastPlan plan = scheme->Plan(*sys, src, dests, spec.cfg.message,
+                                    spec.cfg.headers);
+      const MulticastResult r = PlayOnce(*sys, spec.cfg, std::move(plan));
+      stats.Add(static_cast<double>(r.Latency()));
+    }
+  }
+  SingleRunResult out;
+  out.samples = static_cast<int>(stats.count());
+  out.mean_latency = stats.mean();
+  out.min_latency = stats.min();
+  out.max_latency = stats.max();
+  return out;
+}
+
+}  // namespace irmc

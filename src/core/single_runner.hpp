@@ -1,0 +1,43 @@
+// Single-multicast latency experiments (paper Section 4.2).
+//
+// "We assume that exactly one multicast occurs in the system at any
+// given time and that there is no other network traffic" — each sample
+// runs on a fresh fabric: draw a source and a destination set, plan,
+// play, record the completion latency. Results are averaged over
+// multiple random topologies and draws, as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/executor.hpp"
+#include "mcast/scheme.hpp"
+
+namespace irmc {
+
+struct SingleRunSpec {
+  SimConfig cfg;
+  SchemeKind scheme = SchemeKind::kTreeWorm;
+  int multicast_size = 8;        ///< number of destinations
+  int topologies = 10;           ///< averaged over this many topologies
+  int samples_per_topology = 4;  ///< random (source, dest-set) draws each
+  RootPolicy root_policy = RootPolicy::kLowestId;
+};
+
+struct SingleRunResult {
+  double mean_latency = 0.0;  ///< cycles
+  double min_latency = 0.0;
+  double max_latency = 0.0;
+  int samples = 0;
+};
+
+/// Runs one scheme at one parameter point.
+SingleRunResult RunSingleMulticast(const SingleRunSpec& spec);
+
+/// Runs one planned multicast on a fresh driver over an existing system;
+/// returns the full result (building block for tests and examples).
+MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
+                         McastPlan plan);
+
+}  // namespace irmc

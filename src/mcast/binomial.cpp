@@ -1,0 +1,53 @@
+#include "mcast/binomial.hpp"
+
+#include "mcast/kbinomial.hpp"
+
+namespace irmc {
+
+McastPlan UnicastBinomialScheme::Plan(const System& sys, NodeId src,
+                                      const std::vector<NodeId>& dests,
+                                      const MessageShape& shape,
+                                      const HeaderSizing& headers) const {
+  (void)shape;
+  (void)headers;
+  McastPlan plan;
+  plan.scheme = SchemeKind::kUnicastBinomial;
+  plan.root = src;
+  plan.dests = dests;
+  plan.children.assign(static_cast<std::size_t>(sys.num_nodes()), {});
+
+  // An uncapped binomial tree is the k -> infinity case of the capped
+  // builder (no node ever hits the cap within ceil(log2 n) rounds).
+  const int n = static_cast<int>(dests.size());
+  const auto shape_children = BuildCappedBinomialShape(n, n + 1);
+  const auto ordered = OrderDestsBySwitch(sys, src, dests);
+  auto real = [&](int abstract) {
+    return abstract == 0 ? src
+                         : ordered[static_cast<std::size_t>(abstract - 1)];
+  };
+  for (std::size_t u = 0; u < shape_children.size(); ++u)
+    for (int c : shape_children[u])
+      plan.children[static_cast<std::size_t>(real(static_cast<int>(u)))]
+          .push_back(real(c));
+  return plan;
+}
+
+McastPlan SeparateAddressingScheme::Plan(const System& sys, NodeId src,
+                                         const std::vector<NodeId>& dests,
+                                         const MessageShape& shape,
+                                         const HeaderSizing& headers) const {
+  (void)shape;
+  (void)headers;
+  McastPlan plan;
+  plan.scheme = SchemeKind::kUnicastBinomial;  // conventional execution
+  plan.root = src;
+  plan.dests = dests;
+  plan.children.assign(static_cast<std::size_t>(sys.num_nodes()), {});
+  // Flat: all destinations are direct children of the source, ordered
+  // by switch locality so near receivers are served first.
+  plan.children[static_cast<std::size_t>(src)] =
+      OrderDestsBySwitch(sys, src, dests);
+  return plan;
+}
+
+}  // namespace irmc

@@ -1,0 +1,144 @@
+#include "mcast/kbinomial.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+std::vector<std::vector<int>> BuildCappedBinomialShape(int receivers, int k) {
+  IRMC_EXPECT(receivers >= 0);
+  IRMC_EXPECT(k >= 1);
+  std::vector<std::vector<int>> children(
+      static_cast<std::size_t>(receivers) + 1);
+  std::vector<int> have{0};
+  int next = 1;
+  while (next <= receivers) {
+    const std::size_t round_holders = have.size();
+    bool progressed = false;
+    for (std::size_t i = 0; i < round_holders && next <= receivers; ++i) {
+      const int holder = have[i];
+      if (static_cast<int>(children[static_cast<std::size_t>(holder)].size()) >=
+          k)
+        continue;
+      children[static_cast<std::size_t>(holder)].push_back(next);
+      have.push_back(next);
+      ++next;
+      progressed = true;
+    }
+    IRMC_ENSURE(progressed);  // k >= 1: fresh leaves always adopt
+  }
+  return children;
+}
+
+Cycles EvalFpfsCompletion(int receivers, int k, const MessageShape& shape,
+                          const HostParams& host, int wire_flits,
+                          Cycles net_pipe) {
+  const auto children = BuildCappedBinomialShape(receivers, k);
+  const int m = shape.num_packets;
+  const Cycles dma = host.DmaCycles(shape.packet_flits);
+  const auto n = static_cast<std::size_t>(receivers) + 1;
+
+  // pkt_avail[u][j]: time packet j is present at u's NI.
+  std::vector<std::vector<Cycles>> pkt_avail(
+      n, std::vector<Cycles>(static_cast<std::size_t>(m), 0));
+  std::vector<Cycles> ni_free(n, 0);
+  for (int j = 0; j < m; ++j)
+    pkt_avail[0][static_cast<std::size_t>(j)] =
+        host.o_host + host.o_ni + static_cast<Cycles>(j + 1) * dma;
+
+  // Abstract ids are assigned in adoption order, so parents precede
+  // children; a single forward pass is a valid evaluation order. FPFS:
+  // iterate packets outer, children inner.
+  Cycles completion = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int j = 0; j < m; ++j) {
+      for (int c : children[u]) {
+        const Cycles start =
+            std::max(ni_free[u], pkt_avail[u][static_cast<std::size_t>(j)]);
+        ni_free[u] = start + host.ni_forward_overhead + wire_flits;
+        pkt_avail[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] =
+            ni_free[u] + net_pipe;
+      }
+    }
+    if (u > 0) {
+      const Cycles done = pkt_avail[u][static_cast<std::size_t>(m - 1)] +
+                          dma + host.o_host;
+      completion = std::max(completion, done);
+    }
+  }
+  return completion;
+}
+
+int ChooseK(int receivers, const MessageShape& shape, const HostParams& host,
+            int wire_flits, Cycles net_pipe, int kmax) {
+  IRMC_EXPECT(receivers >= 1);
+  int best_k = 1;
+  Cycles best = EvalFpfsCompletion(receivers, 1, shape, host, wire_flits,
+                                   net_pipe);
+  for (int k = 2; k <= kmax; ++k) {
+    const Cycles t =
+        EvalFpfsCompletion(receivers, k, shape, host, wire_flits, net_pipe);
+    if (t < best) {
+      best = t;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::vector<NodeId> OrderDestsBySwitch(const System& sys, NodeId src,
+                                       const std::vector<NodeId>& dests) {
+  const SwitchId home = sys.graph.SwitchOf(src);
+  std::vector<NodeId> ordered = dests;
+  std::sort(ordered.begin(), ordered.end(), [&](NodeId a, NodeId b) {
+    const SwitchId sa = sys.graph.SwitchOf(a);
+    const SwitchId sb = sys.graph.SwitchOf(b);
+    if (sa != sb) {
+      const int da = sys.routing.Distance(home, sa);
+      const int db = sys.routing.Distance(home, sb);
+      if (da != db) return da < db;
+      return sa < sb;
+    }
+    return a < b;
+  });
+  return ordered;
+}
+
+McastPlan KBinomialNiScheme::Plan(const System& sys, NodeId src,
+                                  const std::vector<NodeId>& dests,
+                                  const MessageShape& shape,
+                                  const HeaderSizing& headers) const {
+  McastPlan plan;
+  plan.scheme = SchemeKind::kNiKBinomial;
+  plan.root = src;
+  plan.dests = dests;
+  plan.children.assign(static_cast<std::size_t>(sys.num_nodes()), {});
+
+  const int wire = shape.packet_flits + headers.UnicastFlits();
+  // Representative network pipeline latency for the k model: mean route
+  // of ~3 switch hops plus the forwarding NI's receive and send
+  // overheads (both o_ni, per Section 4.2.1 of the paper).
+  const Cycles net_pipe = 3 * 3 + 2 * host.o_ni;
+  const int k = forced_k > 0
+                    ? forced_k
+                    : ChooseK(static_cast<int>(dests.size()), shape, host,
+                              wire, net_pipe);
+  plan.chosen_k = k;
+
+  const auto shape_children =
+      BuildCappedBinomialShape(static_cast<int>(dests.size()), k);
+  const auto ordered = OrderDestsBySwitch(sys, src, dests);
+  // Abstract id 0 -> src, i>0 -> ordered[i-1].
+  auto real = [&](int abstract) {
+    return abstract == 0 ? src
+                         : ordered[static_cast<std::size_t>(abstract - 1)];
+  };
+  for (std::size_t u = 0; u < shape_children.size(); ++u)
+    for (int c : shape_children[u])
+      plan.children[static_cast<std::size_t>(real(static_cast<int>(u)))]
+          .push_back(real(c));
+  return plan;
+}
+
+}  // namespace irmc

@@ -1,0 +1,29 @@
+#include "mcast/scheme.hpp"
+
+#include "mcast/binomial.hpp"
+#include "mcast/kbinomial.hpp"
+#include "mcast/path_worm.hpp"
+#include "mcast/tree_worm.hpp"
+
+namespace irmc {
+
+std::unique_ptr<MulticastScheme> MakeScheme(SchemeKind kind,
+                                            const HostParams& host) {
+  switch (kind) {
+    case SchemeKind::kUnicastBinomial:
+      return std::make_unique<UnicastBinomialScheme>();
+    case SchemeKind::kNiKBinomial: {
+      auto scheme = std::make_unique<KBinomialNiScheme>();
+      scheme->host = host;
+      return scheme;
+    }
+    case SchemeKind::kTreeWorm:
+      return std::make_unique<TreeWormScheme>();
+    case SchemeKind::kPathWorm:
+      return std::make_unique<PathWormMdpLgScheme>();
+  }
+  IRMC_ENSURE(false && "unknown scheme");
+  return nullptr;
+}
+
+}  // namespace irmc

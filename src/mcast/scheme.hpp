@@ -1,0 +1,70 @@
+// Multicast scheme interface and plan representation.
+//
+// A scheme turns (system, source, destination set, message shape) into a
+// McastPlan — the static decisions: forwarding tree, worm headers, worm
+// routes, phase assignments. The executor (core/executor) then plays a
+// plan on the fabric with the host/NI timing model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "network/packet.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+struct McastPlan {
+  SchemeKind scheme = SchemeKind::kUnicastBinomial;
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> dests;  ///< all destinations, no duplicates, no root
+
+  /// Message shape for this multicast only; the driver's configured
+  /// shape applies when unset. Lets mixed traffic (e.g. short DSM
+  /// invalidations and acks) share one fabric.
+  std::optional<MessageShape> shape;
+
+  /// Forwarding children per node (uni-binomial and NI-k-binomial);
+  /// indexed by NodeId, empty vectors for non-participants.
+  std::vector<std::vector<NodeId>> children;
+  /// The k the k-binomial planner chose (reporting/ablation).
+  int chosen_k = 0;
+
+  /// Tree-worm chunking (scaling extension, see TreeWormScheme): when
+  /// non-empty, the source sends one worm per region instead of one
+  /// all-destinations worm; regions[i] pairs with region_header_flits[i].
+  std::vector<std::vector<NodeId>> tree_regions;
+  std::vector<int> tree_region_header_flits;
+
+  /// Planned multi-drop path worms (path-worm scheme), in global send
+  /// order. Worms of one sender are sent in their relative order.
+  struct PlannedWorm {
+    NodeId sender = kInvalidNode;
+    std::shared_ptr<const PathWormRoute> route;
+    int header_flits = 0;           ///< initial header length on the wire
+    std::vector<NodeId> covered;    ///< destinations this worm delivers to
+    int phase = 0;                  ///< planner phase (reporting)
+  };
+  std::vector<PlannedWorm> worms;
+};
+
+class MulticastScheme {
+ public:
+  virtual ~MulticastScheme() = default;
+  virtual SchemeKind kind() const = 0;
+  /// Build the static plan. `dests` must not contain `src` or dupes.
+  virtual McastPlan Plan(const System& sys, NodeId src,
+                         const std::vector<NodeId>& dests,
+                         const MessageShape& shape,
+                         const HeaderSizing& headers) const = 0;
+};
+
+/// Factory over the four schemes. `host` feeds the k-binomial planner's
+/// k-choice cost model (ignored by the other schemes).
+std::unique_ptr<MulticastScheme> MakeScheme(SchemeKind kind,
+                                            const HostParams& host = {});
+
+}  // namespace irmc

@@ -1,0 +1,33 @@
+// Single-phase tree-based multicasting with one bit-string-encoded
+// multidestination worm (paper Section 3.2.3).
+//
+// All routing intelligence lives in the switches (reachability strings,
+// Reachability module); the plan is simply the destination bit-string.
+//
+// Scaling extension (`max_region_span`): the paper's Section 3.3 notes
+// the N-bit header and its per-port comparison logic grow with system
+// size. With a span cap, the source instead sends one worm per window of
+// `max_region_span` node IDs containing destinations; each worm's header
+// is a window-offset flit plus a span-wide bit-string. Still a single
+// phase (all worms leave the source back to back, no host software at
+// intermediate hops) but header cost is bounded regardless of N —
+// bench/ablI quantifies the trade.
+#pragma once
+
+#include "mcast/scheme.hpp"
+
+namespace irmc {
+
+class TreeWormScheme final : public MulticastScheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kTreeWorm; }
+  McastPlan Plan(const System& sys, NodeId src,
+                 const std::vector<NodeId>& dests, const MessageShape& shape,
+                 const HeaderSizing& headers) const override;
+
+  /// 0 = one worm addressing all N nodes (the paper's scheme); > 0 =
+  /// chunked headers covering node-ID windows of at most this many bits.
+  int max_region_span = 0;
+};
+
+}  // namespace irmc

@@ -1,0 +1,336 @@
+#include "network/fabric.hpp"
+
+#include <algorithm>
+
+namespace irmc {
+
+Fabric::Fabric(Engine& engine, const System& sys, const NetParams& params,
+               DeliverFn deliver, Tracer* tracer)
+    : engine_(engine),
+      sys_(sys),
+      params_(params),
+      deliver_(std::move(deliver)),
+      tracer_(tracer),
+      ports_(sys.graph.ports_per_switch()) {
+  IRMC_EXPECT(deliver_ != nullptr);
+  IRMC_EXPECT(params_.input_slots >= 1);
+  const auto num_port_slots = static_cast<std::size_t>(sys.num_switches()) *
+                              static_cast<std::size_t>(ports_);
+  channels_.resize(num_port_slots +
+                   static_cast<std::size_t>(sys.num_nodes()));
+  input_slots_.reserve(num_port_slots);
+  for (std::size_t i = 0; i < num_port_slots; ++i)
+    input_slots_.emplace_back(params_.input_slots);
+
+  // Wire the switch output channels.
+  for (SwitchId s = 0; s < sys.num_switches(); ++s) {
+    for (PortId p = 0; p < ports_; ++p) {
+      Channel& c = channels_[static_cast<std::size_t>(OutChannelId(s, p))];
+      const Port& pt = sys.graph.port(s, p);
+      switch (pt.kind) {
+        case PortKind::kSwitch:
+          c.dst_switch = pt.peer_switch;
+          c.dst_port = pt.peer_port;
+          c.downstream_slot_pool =
+              static_cast<int>(PortIdx(pt.peer_switch, pt.peer_port));
+          break;
+        case PortKind::kHost:
+          c.to_host = true;
+          c.host = pt.host;
+          break;
+        case PortKind::kFree:
+          break;  // never used
+      }
+    }
+  }
+
+  // Injection channels: NI -> the host port's input buffer at the switch.
+  for (NodeId n = 0; n < sys.num_nodes(); ++n) {
+    Channel& c = channels_[static_cast<std::size_t>(InjChannelId(n))];
+    const HostAttachment& at = sys.graph.host(n);
+    c.dst_switch = at.sw;
+    c.dst_port = at.port;
+    c.downstream_slot_pool = static_cast<int>(PortIdx(at.sw, at.port));
+  }
+}
+
+void Fabric::InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready) {
+  IRMC_EXPECT(pkt != nullptr);
+  IRMC_EXPECT(pkt->WireFlits() > 0);
+  if (params_.record_routes && !pkt->hop_log)
+    pkt->hop_log = std::make_shared<std::vector<HopRecord>>();
+  Trace(TraceKind::kInject, *pkt, n, -1);
+  const int cid = InjChannelId(n);
+  channels_[static_cast<std::size_t>(cid)].queue.push_back(
+      Tx{std::move(pkt), ready, nullptr});
+  Pump(cid);
+}
+
+int Fabric::InjectionBacklog(NodeId n) const {
+  return channels_[static_cast<std::size_t>(InjChannelId(n))].Load();
+}
+
+std::int64_t Fabric::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const Channel& c : channels_) total += c.Load();
+  return total;
+}
+
+const std::vector<HopRecord>* Fabric::HopsOf(const Packet& pkt) {
+  return pkt.hop_log.get();
+}
+
+std::vector<LinkLoadReport> Fabric::LinkReports(Cycles now) const {
+  std::vector<LinkLoadReport> out;
+  const double elapsed = now > 0 ? static_cast<double>(now) : 1.0;
+  for (SwitchId s = 0; s < sys_.num_switches(); ++s) {
+    for (PortId p = 0; p < ports_; ++p) {
+      const Port& pt = sys_.graph.port(s, p);
+      if (pt.kind == PortKind::kFree) continue;
+      const Channel& c =
+          channels_[static_cast<std::size_t>(OutChannelId(s, p))];
+      LinkLoadReport r;
+      r.sw = s;
+      r.port = p;
+      r.to_host = c.to_host;
+      r.node = c.host;
+      r.flits = c.flits;
+      r.utilization =
+          static_cast<double>(c.line.busy_total()) / elapsed;
+      out.push_back(r);
+    }
+  }
+  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+    const Channel& c = channels_[static_cast<std::size_t>(InjChannelId(n))];
+    LinkLoadReport r;
+    r.node = n;
+    r.flits = c.flits;
+    r.utilization = static_cast<double>(c.line.busy_total()) / elapsed;
+    out.push_back(r);
+  }
+  return out;
+}
+
+double Fabric::MaxLinkUtilization(Cycles now) const {
+  double best = 0.0;
+  for (const LinkLoadReport& r : LinkReports(now))
+    if (r.sw != kInvalidSwitch && !r.to_host)
+      best = std::max(best, r.utilization);
+  return best;
+}
+
+void Fabric::Pump(int channel_id) {
+  Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  if (c.pumping || c.queue.empty()) return;
+  c.pumping = true;
+  Tx tx = std::move(c.queue.front());
+  c.queue.pop_front();
+  if (c.downstream_slot_pool >= 0) {
+    auto& pool = input_slots_[static_cast<std::size_t>(c.downstream_slot_pool)];
+    pool.Acquire(engine_, [this, channel_id, tx = std::move(tx)]() mutable {
+      StartTx(channel_id, std::move(tx));
+    });
+  } else {
+    StartTx(channel_id, std::move(tx));
+  }
+}
+
+void Fabric::StartTx(int channel_id, Tx tx) {
+  Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  const int len = tx.pkt->WireFlits();
+  const Cycles earliest = std::max(engine_.Now(), tx.ready);
+  const Cycles start = c.line.Reserve(earliest, len);
+  const Cycles head_arrive = start + params_.link_delay;
+  const Cycles tail_arrive = start + len - 1 + params_.link_delay;
+  const Cycles tail_leave = start + len;
+  flits_sent_ += len;
+  c.flits += len;
+
+  // Tail leaves: channel free, branch drained from the source buffer.
+  engine_.ScheduleAt(tail_leave, [this, channel_id, buf = tx.src_buffer]() {
+    Channel& ch = channels_[static_cast<std::size_t>(channel_id)];
+    ch.pumping = false;
+    if (buf && --buf->pending_branches == 0 && buf->slot_pool >= 0)
+      input_slots_[static_cast<std::size_t>(buf->slot_pool)].Release(engine_);
+    Pump(channel_id);
+  });
+
+  if (c.to_host) {
+    engine_.ScheduleAt(
+        tail_arrive,
+        [this, host = c.host, pkt = tx.pkt, head_arrive, tail_arrive]() {
+          Trace(TraceKind::kNiDeliver, *pkt, host, -1);
+          deliver_(host, pkt, head_arrive, tail_arrive);
+        });
+  } else {
+    engine_.ScheduleAt(head_arrive, [this, sw = c.dst_switch,
+                                     in_port = c.dst_port, pkt = tx.pkt,
+                                     head_arrive, tail_arrive]() {
+      HeadArrive(sw, in_port, pkt, head_arrive);
+      (void)tail_arrive;
+    });
+  }
+}
+
+void Fabric::HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt,
+                        Cycles head_time) {
+  ++packets_switched_;
+  Trace(TraceKind::kHeadArrive, *pkt, s, in_port);
+  auto buf = std::make_shared<Buffered>();
+  buf->slot_pool = static_cast<int>(PortIdx(s, in_port));
+  const Cycles tail_time = head_time + pkt->WireFlits() - 1;
+  engine_.ScheduleAt(head_time + params_.route_delay,
+                     [this, s, pkt = std::move(pkt), buf, tail_time]() {
+                       Route(s, pkt, tail_time, buf);
+                     });
+}
+
+void Fabric::Route(SwitchId s, PacketPtr pkt, Cycles tail_time,
+                   const BufferedPtr& buf) {
+  std::vector<Branch> branches;
+  switch (pkt->kind) {
+    case HeaderKind::kUnicast:
+      RouteUnicast(s, pkt, branches);
+      break;
+    case HeaderKind::kTreeWorm:
+      RouteTreeWorm(s, pkt, branches);
+      break;
+    case HeaderKind::kPathWorm:
+      RoutePathWorm(s, pkt, branches);
+      break;
+  }
+  if (branches.empty()) {
+    // Fully consumed here (possible only for degenerate plans); free the
+    // buffer once the tail has arrived.
+    const Cycles when = std::max(engine_.Now(), tail_time);
+    engine_.ScheduleAt(when, [this, pool = buf->slot_pool]() {
+      if (pool >= 0)
+        input_slots_[static_cast<std::size_t>(pool)].Release(engine_);
+    });
+    return;
+  }
+  buf->pending_branches = static_cast<int>(branches.size());
+  Trace(TraceKind::kRoute, *pkt, s, static_cast<std::int32_t>(branches.size()));
+  const Cycles ready = engine_.Now() + params_.xbar_delay;
+  for (Branch& b : branches) {
+    Trace(TraceKind::kBranch, *b.pkt, s,
+          static_cast<std::int32_t>(b.channel_id % ports_));
+    if (b.pkt->hop_log)
+      b.pkt->hop_log->push_back(
+          HopRecord{s, static_cast<PortId>(b.channel_id % ports_)});
+    channels_[static_cast<std::size_t>(b.channel_id)].queue.push_back(
+        Tx{std::move(b.pkt), ready, buf});
+    Pump(b.channel_id);
+  }
+}
+
+Fabric::Branch Fabric::MakeHostBranch(SwitchId s, NodeId n,
+                                      const PacketPtr& pkt) const {
+  const HostAttachment& at = sys_.graph.host(n);
+  IRMC_EXPECT(at.sw == s);
+  auto copy = pkt->CloneForBranch();
+  if (copy->kind == HeaderKind::kTreeWorm) {
+    NodeSet only(copy->tree_dests.capacity());
+    only.Set(n);
+    copy->tree_dests = only;
+  }
+  return Branch{std::move(copy), OutChannelId(s, at.port)};
+}
+
+PortId Fabric::PickAdaptive(SwitchId s,
+                            const std::vector<PortId>& candidates) const {
+  IRMC_EXPECT(!candidates.empty());
+  if (!params_.adaptive) return candidates.front();
+  PortId best = candidates.front();
+  int best_load =
+      channels_[static_cast<std::size_t>(OutChannelId(s, best))].Load();
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const int load =
+        channels_[static_cast<std::size_t>(OutChannelId(s, candidates[i]))]
+            .Load();
+    if (load < best_load) {
+      best = candidates[i];
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void Fabric::RouteUnicast(SwitchId s, const PacketPtr& pkt,
+                          std::vector<Branch>& out) {
+  const SwitchId dest_sw = sys_.graph.SwitchOf(pkt->uni_dest);
+  if (dest_sw == s) {
+    out.push_back(MakeHostBranch(s, pkt->uni_dest, pkt));
+    return;
+  }
+  const auto& cand = sys_.routing.Candidates(s, dest_sw, pkt->phase);
+  IRMC_ENSURE(!cand.empty());
+  const PortId p = PickAdaptive(s, cand);
+  auto copy = pkt->CloneForBranch();
+  copy->phase = sys_.routing.NextPhase(s, p, pkt->phase);
+  out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
+}
+
+void Fabric::RouteTreeWorm(SwitchId s, const PacketPtr& pkt,
+                           std::vector<Branch>& out) {
+  const Reachability& reach = sys_.reach;
+  NodeSet locals = pkt->tree_dests & reach.Local(s);
+  for (NodeId n : locals.ToVector()) out.push_back(MakeHostBranch(s, n, pkt));
+  NodeSet rem = pkt->tree_dests;
+  rem.Subtract(locals);
+  if (rem.Empty()) return;
+
+  if (rem.IsSubsetOf(reach.DownCover(s))) {
+    // Replicate downward along the partitioned reachability strings.
+    NodeSet covered(rem.capacity());
+    for (PortId p : sys_.updown.DownPorts(s)) {
+      NodeSet part = rem & reach.Primary(s, p);
+      if (part.Empty()) continue;
+      auto copy = pkt->CloneForBranch();
+      copy->tree_dests = part;
+      copy->phase = RoutePhase::kDownOnly;
+      out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
+      covered |= part;
+    }
+    IRMC_ENSURE(covered == rem);
+    return;
+  }
+
+  // Not down-coverable from here: continue climbing toward a least
+  // common ancestor. Legal only while the worm has not gone down.
+  IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
+  const auto& ups = sys_.updown.UpPorts(s);
+  IRMC_ENSURE(!ups.empty());
+  std::vector<PortId> sufficient;
+  for (PortId p : ups) {
+    const SwitchId t = sys_.graph.port(s, p).peer_switch;
+    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
+      sufficient.push_back(p);
+  }
+  const std::vector<PortId>& cand = sufficient.empty() ? ups : sufficient;
+  const PortId p = PickAdaptive(s, cand);
+  auto copy = pkt->CloneForBranch();
+  copy->tree_dests = rem;
+  copy->phase = RoutePhase::kUpAllowed;
+  out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
+}
+
+void Fabric::RoutePathWorm(SwitchId s, const PacketPtr& pkt,
+                           std::vector<Branch>& out) {
+  IRMC_EXPECT(pkt->path != nullptr);
+  IRMC_EXPECT(pkt->path_cursor < pkt->path->steps.size());
+  const PathWormRoute::Step& step = pkt->path->steps[pkt->path_cursor];
+  IRMC_ENSURE(step.sw == s);
+  for (NodeId n : step.deliver) out.push_back(MakeHostBranch(s, n, pkt));
+  if (step.forward_port == kInvalidPort) {
+    IRMC_ENSURE(!step.deliver.empty());  // a worm must end with a drop
+    return;
+  }
+  auto copy = pkt->CloneForBranch();
+  copy->path_cursor = pkt->path_cursor + 1;
+  copy->header_flits = step.header_flits_after;
+  copy->phase = sys_.routing.NextPhase(s, step.forward_port, pkt->phase);
+  out.push_back(Branch{std::move(copy), OutChannelId(s, step.forward_port)});
+}
+
+}  // namespace irmc

@@ -1,0 +1,174 @@
+// Cut-through switch fabric (paper Sections 2 and 4.1).
+//
+// Virtual cut-through at packet-event granularity: a packet holds an
+// input-buffer slot at a switch from head arrival until every replica
+// branch has fully drained through its output channel; output channels
+// serve transmissions in FIFO order and stall (head-of-line) while the
+// downstream input buffer is full. With input buffers of at least one
+// packet this reproduces cut-through timing exactly, using O(hops)
+// events per packet instead of O(flits).
+//
+// Model constants per the paper: 1 cycle link propagation per flit,
+// 1 cycle crossbar traversal, 1 cycle uniform routing/decoding delay for
+// all schemes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "topology/system.hpp"
+#include "trace/tracer.hpp"
+
+namespace irmc {
+
+/// Per-channel load summary (switch output channels and injections).
+struct LinkLoadReport {
+  SwitchId sw = kInvalidSwitch;  ///< owning switch; kInvalidSwitch for an
+                                 ///< injection channel
+  PortId port = kInvalidPort;
+  NodeId node = kInvalidNode;  ///< set for injections and host ejections
+  bool to_host = false;
+  std::int64_t flits = 0;
+  double utilization = 0.0;  ///< busy cycles / elapsed cycles
+};
+
+struct NetParams {
+  Cycles link_delay = 1;   ///< per-flit wire propagation
+  Cycles route_delay = 1;  ///< header decode + route decision
+  Cycles xbar_delay = 1;   ///< input buffer -> output port
+  int input_slots = 1;     ///< input buffer capacity in packets (VCT)
+  bool adaptive = true;    ///< pick least-loaded candidate port
+  bool record_routes = false;  ///< per-packet hop logs (tests/examples)
+};
+
+class Fabric {
+ public:
+  /// deliver(node, packet, head_arrive, tail_arrive) fires when a packet
+  /// finishes arriving at a node's network interface.
+  using DeliverFn =
+      std::function<void(NodeId, const PacketPtr&, Cycles, Cycles)>;
+
+  Fabric(Engine& engine, const System& sys, const NetParams& params,
+         DeliverFn deliver, Tracer* tracer = nullptr);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Queue a packet for injection from node n's NI into its switch. The
+  /// transmission begins once the injection channel is free, the switch
+  /// input buffer has a slot, and `ready` has passed (data present at
+  /// the NI).
+  void InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready);
+
+  /// Packets queued or in flight on node n's injection channel.
+  int InjectionBacklog(NodeId n) const;
+
+  /// Total packets currently queued on all channels (saturation metric).
+  std::int64_t TotalBacklog() const;
+
+  std::int64_t flits_sent() const { return flits_sent_; }
+  std::int64_t packets_switched() const { return packets_switched_; }
+
+  /// Load report for every wired channel, as of time `now`. Switch
+  /// output channels first (in (switch, port) order), then injections.
+  std::vector<LinkLoadReport> LinkReports(Cycles now) const;
+
+  /// Highest switch-to-switch link utilization (hot-spot metric).
+  double MaxLinkUtilization(Cycles now) const;
+
+  /// Hop log of a packet (only populated when params.record_routes).
+  static const std::vector<HopRecord>* HopsOf(const Packet& pkt);
+
+ private:
+  struct Buffered {
+    int slot_pool = -1;  ///< index into input_slots_, -1 for none
+    int pending_branches = 0;
+  };
+  using BufferedPtr = std::shared_ptr<Buffered>;
+
+  struct Tx {
+    PacketPtr pkt;
+    Cycles ready = 0;
+    BufferedPtr src_buffer;  ///< slot to release when this branch drains
+  };
+
+  struct Channel {
+    TimelineResource line;
+    std::deque<Tx> queue;
+    bool pumping = false;
+    int downstream_slot_pool = -1;  ///< index into input_slots_, -1 = none
+    bool to_host = false;
+    NodeId host = kInvalidNode;
+    SwitchId dst_switch = kInvalidSwitch;
+    PortId dst_port = kInvalidPort;
+    std::int64_t flits = 0;
+    int Load() const {
+      return static_cast<int>(queue.size()) + (pumping ? 1 : 0);
+    }
+  };
+
+  // --- indexing helpers ---
+  std::size_t PortIdx(SwitchId s, PortId p) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(p);
+  }
+  int OutChannelId(SwitchId s, PortId p) const {
+    return static_cast<int>(PortIdx(s, p));
+  }
+  int InjChannelId(NodeId n) const {
+    return static_cast<int>(static_cast<std::size_t>(sys_.num_switches()) *
+                                static_cast<std::size_t>(ports_) +
+                            static_cast<std::size_t>(n));
+  }
+
+  // --- event handlers ---
+  void Pump(int channel_id);
+  void StartTx(int channel_id, Tx tx);
+  void HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt, Cycles head_time);
+  void Route(SwitchId s, PacketPtr pkt, Cycles decision_time,
+             const BufferedPtr& buf);
+
+  struct Branch {
+    PacketPtr pkt;
+    int channel_id;
+  };
+  void RouteUnicast(SwitchId s, const PacketPtr& pkt,
+                    std::vector<Branch>& out);
+  void RouteTreeWorm(SwitchId s, const PacketPtr& pkt,
+                     std::vector<Branch>& out);
+  void RoutePathWorm(SwitchId s, const PacketPtr& pkt,
+                     std::vector<Branch>& out);
+
+  /// Least-loaded port among candidates (first on ties); first candidate
+  /// when adaptivity is disabled.
+  PortId PickAdaptive(SwitchId s, const std::vector<PortId>& candidates) const;
+
+  Branch MakeHostBranch(SwitchId s, NodeId n, const PacketPtr& pkt) const;
+
+  void Trace(TraceKind kind, const Packet& pkt, std::int32_t actor,
+             std::int32_t detail) {
+    if (tracer_)
+      tracer_->Record(TraceEvent{engine_.Now(), kind, pkt.mcast_id,
+                                 pkt.pkt_index, actor, detail});
+  }
+
+  Engine& engine_;
+  const System& sys_;
+  NetParams params_;
+  DeliverFn deliver_;
+  Tracer* tracer_;
+  int ports_;
+
+  std::vector<Channel> channels_;           // switch out-channels, then injections
+  std::vector<CountingResource> input_slots_;  // [switch*ports + port]
+  std::int64_t flits_sent_ = 0;
+  std::int64_t packets_switched_ = 0;
+};
+
+}  // namespace irmc

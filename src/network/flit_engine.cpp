@@ -1,0 +1,423 @@
+#include "network/flit_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+// ---------------------------------------------------------------------------
+// Internal structures. The engine is cycle-stepped: each cycle first lands
+// the flits launched in the previous cycle (phase A), then makes routing
+// decisions and launches new flits (phase B).
+// ---------------------------------------------------------------------------
+
+struct FlitEngine::Worm {
+  PacketPtr pkt;
+  int len = 0;
+  int received = 0;   ///< flits landed in this buffer
+  int freed = 0;      ///< flits consumed by every branch
+  Cycles head_arrive = 0;
+  bool fully_injected = false;  ///< source-side worm: all flits available
+  bool routed = false;
+  int live_branches = 0;
+  // location
+  int port_index = -1;  ///< owning input port; -1 for injection sources
+};
+
+struct FlitEngine::Channel {
+  int dst_port_index = -1;      ///< downstream input port; -1 = host sink
+  NodeId sink_host = kInvalidNode;
+  struct BranchRef {
+    int branch = -1;
+  };
+  int active_branch = -1;
+  std::deque<int> waiting;
+};
+
+struct FlitEngine::InputPort {
+  int capacity = 0;
+  int resident_worm = -1;  ///< at most one worm resident (single VC)
+};
+
+namespace {
+
+struct BranchState {
+  int src_worm = -1;
+  int channel = -1;
+  PacketPtr out_pkt;  ///< header as seen by the downstream switch
+  int len = 0;
+  int consumed = 0;
+  Cycles start_ok = 0;
+  int dst_worm = -1;  ///< created when the head lands downstream
+  bool done = false;
+};
+
+struct InFlight {
+  int branch = -1;
+  bool is_head = false;
+  bool is_tail = false;
+};
+
+}  // namespace
+
+struct FlitEngine::Impl {
+  const System& sys;
+  FlitEngineParams params;
+  int ports;
+
+  std::vector<InputPort> inputs;  // [switch*ports + port]
+  std::vector<Channel> channels;  // switch out channels, then injections
+  std::vector<Worm> worms;
+  std::vector<BranchState> branches;
+  std::vector<std::pair<InFlight, Cycles>> in_flight;  // lands at .second
+  std::vector<FlitDelivery> deliveries;
+  struct PendingDelivery {
+    NodeId node;
+    Cycles head = kNever;
+    int flits_seen = 0;
+    int len = 0;
+    int branch = -1;
+  };
+  std::vector<PendingDelivery> pending_deliveries;
+  std::vector<std::deque<std::pair<PacketPtr, Cycles>>> inject_queues;
+  int outstanding = 0;  ///< worms not yet fully sunk
+
+  explicit Impl(const System& s, const FlitEngineParams& p)
+      : sys(s), params(p), ports(s.graph.ports_per_switch()) {
+    const auto n_ports = static_cast<std::size_t>(s.num_switches()) *
+                         static_cast<std::size_t>(ports);
+    inputs.assign(n_ports, InputPort{p.buffer_flits, -1});
+    channels.resize(n_ports + static_cast<std::size_t>(s.num_nodes()));
+    for (SwitchId sw = 0; sw < s.num_switches(); ++sw) {
+      for (PortId pt = 0; pt < ports; ++pt) {
+        Channel& c = channels[PortIdx(sw, pt)];
+        const Port& port = s.graph.port(sw, pt);
+        if (port.kind == PortKind::kSwitch)
+          c.dst_port_index =
+              static_cast<int>(PortIdx(port.peer_switch, port.peer_port));
+        else if (port.kind == PortKind::kHost)
+          c.sink_host = port.host;
+      }
+    }
+    for (NodeId n = 0; n < s.num_nodes(); ++n) {
+      Channel& c = channels[n_ports + static_cast<std::size_t>(n)];
+      const HostAttachment& at = s.graph.host(n);
+      c.dst_port_index = static_cast<int>(PortIdx(at.sw, at.port));
+    }
+    inject_queues.resize(static_cast<std::size_t>(s.num_nodes()));
+  }
+
+  std::size_t PortIdx(SwitchId sw, PortId pt) const {
+    return static_cast<std::size_t>(sw) * static_cast<std::size_t>(ports) +
+           static_cast<std::size_t>(pt);
+  }
+  std::size_t InjChannel(NodeId n) const {
+    return static_cast<std::size_t>(sys.num_switches()) *
+               static_cast<std::size_t>(ports) +
+           static_cast<std::size_t>(n);
+  }
+  SwitchId SwitchOfPort(int port_index) const {
+    return static_cast<SwitchId>(port_index / ports);
+  }
+
+  // ---- routing decisions (deterministic: first candidate) ----
+  struct Decision {
+    PacketPtr out_pkt;
+    int channel = -1;
+  };
+
+  void Decide(SwitchId sw, const PacketPtr& pkt, std::vector<Decision>& out) {
+    switch (pkt->kind) {
+      case HeaderKind::kUnicast: {
+        const SwitchId dest_sw = sys.graph.SwitchOf(pkt->uni_dest);
+        if (dest_sw == sw) {
+          out.push_back(HostDecision(sw, pkt->uni_dest, pkt));
+          return;
+        }
+        const auto& cand = sys.routing.Candidates(sw, dest_sw, pkt->phase);
+        IRMC_ENSURE(!cand.empty());
+        auto copy = pkt->CloneForBranch();
+        copy->phase = sys.routing.NextPhase(sw, cand.front(), pkt->phase);
+        out.push_back(
+            Decision{std::move(copy),
+                     static_cast<int>(PortIdx(sw, cand.front()))});
+        return;
+      }
+      case HeaderKind::kTreeWorm: {
+        NodeSet locals = pkt->tree_dests & sys.reach.Local(sw);
+        for (NodeId n : locals.ToVector())
+          out.push_back(HostDecision(sw, n, pkt));
+        NodeSet rem = pkt->tree_dests;
+        rem.Subtract(locals);
+        if (rem.Empty()) return;
+        if (rem.IsSubsetOf(sys.reach.DownCover(sw))) {
+          for (PortId p : sys.updown.DownPorts(sw)) {
+            NodeSet part = rem & sys.reach.Primary(sw, p);
+            if (part.Empty()) continue;
+            auto copy = pkt->CloneForBranch();
+            copy->tree_dests = part;
+            copy->phase = RoutePhase::kDownOnly;
+            out.push_back(
+                Decision{std::move(copy), static_cast<int>(PortIdx(sw, p))});
+          }
+          return;
+        }
+        IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
+        const auto& ups = sys.updown.UpPorts(sw);
+        PortId chosen = ups.front();
+        for (PortId p : ups) {
+          const SwitchId t = sys.graph.port(sw, p).peer_switch;
+          if (rem.IsSubsetOf(sys.reach.DownCover(t) | sys.reach.Local(t))) {
+            chosen = p;
+            break;
+          }
+        }
+        auto copy = pkt->CloneForBranch();
+        copy->tree_dests = rem;
+        out.push_back(
+            Decision{std::move(copy), static_cast<int>(PortIdx(sw, chosen))});
+        return;
+      }
+      case HeaderKind::kPathWorm: {
+        const auto& step = pkt->path->steps[pkt->path_cursor];
+        IRMC_ENSURE(step.sw == sw);
+        for (NodeId n : step.deliver) out.push_back(HostDecision(sw, n, pkt));
+        if (step.forward_port == kInvalidPort) return;
+        auto copy = pkt->CloneForBranch();
+        copy->path_cursor = pkt->path_cursor + 1;
+        copy->header_flits = step.header_flits_after;
+        out.push_back(Decision{
+            std::move(copy), static_cast<int>(PortIdx(sw, step.forward_port))});
+        return;
+      }
+    }
+  }
+
+  Decision HostDecision(SwitchId sw, NodeId n, const PacketPtr& pkt) {
+    const HostAttachment& at = sys.graph.host(n);
+    IRMC_EXPECT(at.sw == sw);
+    return Decision{pkt->CloneForBranch(),
+                    static_cast<int>(PortIdx(sw, at.port))};
+  }
+
+  // ---- cycle phases ----
+
+  std::vector<int> pending_port_release;
+
+  /// Phase A0: apply input-port releases earned at the end of the
+  /// previous cycle.
+  void ReleasePorts() {
+    for (int port : pending_port_release)
+      inputs[static_cast<std::size_t>(port)].resident_worm = -1;
+    pending_port_release.clear();
+  }
+
+  /// Phase A: land flits launched last cycle.
+  void LandFlits(Cycles now) {
+    std::size_t kept = 0;
+    for (auto& entry : in_flight) {
+      if (entry.second > now) {
+        in_flight[kept++] = entry;
+        continue;
+      }
+      BranchState& b = branches[static_cast<std::size_t>(entry.first.branch)];
+      Channel& c = channels[static_cast<std::size_t>(b.channel)];
+      if (c.sink_host != kInvalidNode) {
+        // Host ejection sink.
+        for (auto& pd : pending_deliveries) {
+          if (pd.branch != entry.first.branch) continue;
+          if (entry.first.is_head) pd.head = entry.second;
+          ++pd.flits_seen;
+          if (pd.flits_seen == pd.len) {
+            deliveries.push_back(FlitDelivery{pd.node, pd.head, entry.second});
+            --outstanding;
+          }
+          break;
+        }
+      } else {
+        if (entry.first.is_head) {
+          // Create the downstream resident worm.
+          InputPort& ip = inputs[static_cast<std::size_t>(c.dst_port_index)];
+          IRMC_ENSURE(ip.resident_worm == -1);
+          Worm w;
+          w.pkt = b.out_pkt;
+          w.len = b.len;
+          w.received = 0;
+          w.head_arrive = entry.second;
+          w.port_index = c.dst_port_index;
+          worms.push_back(w);
+          ip.resident_worm = static_cast<int>(worms.size()) - 1;
+          b.dst_worm = ip.resident_worm;
+        }
+        Worm& w = worms[static_cast<std::size_t>(b.dst_worm)];
+        ++w.received;
+      }
+    }
+    in_flight.resize(kept);
+  }
+
+  /// Phase B1: start injections whose channel is idle.
+  void PumpInjections(Cycles now) {
+    for (NodeId n = 0; n < sys.num_nodes(); ++n) {
+      auto& q = inject_queues[static_cast<std::size_t>(n)];
+      if (q.empty()) continue;
+      Channel& c = channels[InjChannel(n)];
+      if (c.active_branch != -1 || !c.waiting.empty()) continue;
+      if (q.front().second > now) continue;
+      // Source-side pseudo-worm: all flits available at `ready`.
+      Worm w;
+      w.pkt = q.front().first;
+      w.len = q.front().first->WireFlits();
+      w.received = w.len;
+      w.fully_injected = true;
+      w.routed = true;
+      w.live_branches = 1;
+      worms.push_back(w);
+      const int worm_id = static_cast<int>(worms.size()) - 1;
+
+      BranchState b;
+      b.src_worm = worm_id;
+      b.channel = static_cast<int>(InjChannel(n));
+      b.out_pkt = q.front().first;
+      b.len = w.len;
+      b.start_ok = q.front().second;
+      branches.push_back(b);
+      c.waiting.push_back(static_cast<int>(branches.size()) - 1);
+      q.pop_front();
+    }
+  }
+
+  /// Phase B2: make routing decisions for worms whose head has arrived.
+  void RouteWorms(Cycles now) {
+    for (std::size_t wi = 0; wi < worms.size(); ++wi) {
+      Worm& w = worms[wi];
+      if (w.routed || w.port_index < 0 || w.received < 1) continue;
+      if (now < w.head_arrive + params.route_delay) continue;
+      w.routed = true;
+      std::vector<Decision> decisions;
+      Decide(SwitchOfPort(w.port_index), w.pkt, decisions);
+      IRMC_ENSURE(!decisions.empty());
+      w.live_branches = static_cast<int>(decisions.size());
+      for (Decision& d : decisions) {
+        BranchState b;
+        b.src_worm = static_cast<int>(wi);
+        b.channel = d.channel;
+        b.out_pkt = std::move(d.out_pkt);
+        b.len = w.len;
+        b.start_ok = w.head_arrive + params.route_delay + params.xbar_delay;
+        branches.push_back(b);
+        const int bid = static_cast<int>(branches.size()) - 1;
+        Channel& c = channels[static_cast<std::size_t>(d.channel)];
+        c.waiting.push_back(bid);
+        if (c.sink_host != kInvalidNode) {
+          PendingDelivery pd;
+          pd.node = c.sink_host;
+          pd.len = b.len;
+          pd.branch = bid;
+          pending_deliveries.push_back(pd);
+          ++outstanding;
+        }
+      }
+      // The landing of the worm itself is no longer outstanding; its
+      // branches (created above) carry the obligation. Injection worms
+      // are accounted at Inject().
+    }
+  }
+
+  /// Phase B3: channel arbitration + move one flit per active channel.
+  void MoveFlits(Cycles now) {
+    for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+      Channel& c = channels[ci];
+      if (c.active_branch == -1 && !c.waiting.empty()) {
+        // FIFO grant; head-of-line semantics match the VCT engine.
+        const int bid = c.waiting.front();
+        if (branches[static_cast<std::size_t>(bid)].start_ok <= now) {
+          c.waiting.pop_front();
+          c.active_branch = bid;
+        }
+      }
+      if (c.active_branch == -1) continue;
+      BranchState& b = branches[static_cast<std::size_t>(c.active_branch)];
+      Worm& src = worms[static_cast<std::size_t>(b.src_worm)];
+      // Flit availability at the source buffer.
+      if (b.consumed >= src.received) continue;
+      // Downstream space (credit).
+      if (c.dst_port_index >= 0) {
+        InputPort& ip = inputs[static_cast<std::size_t>(c.dst_port_index)];
+        if (b.dst_worm == -1) {
+          if (ip.resident_worm != -1) continue;  // port occupied
+        } else {
+          const Worm& dw = worms[static_cast<std::size_t>(b.dst_worm)];
+          if (dw.received - dw.freed >= ip.capacity) continue;
+          // Plus the flits already in flight toward it this cycle.
+        }
+      }
+      const bool is_head = (b.consumed == 0);
+      ++b.consumed;
+      const bool is_tail = (b.consumed == b.len);
+      in_flight.push_back(
+          {InFlight{c.active_branch, is_head, is_tail}, now + params.link_delay});
+      if (is_tail) {
+        b.done = true;
+        c.active_branch = -1;
+        if (--src.live_branches == 0 && src.port_index >= 0) {
+          // All branches drained: free the input port at the *start of
+          // the next cycle* (the tail flit leaves the buffer this
+          // cycle), matching the VCT engine's slot-release timing.
+          pending_port_release.push_back(src.port_index);
+        }
+      }
+      // Freed-flit accounting (buffer occupancy): freed = min consumed.
+      int min_consumed = b.len;
+      for (const BranchState& other : branches)
+        if (other.src_worm == b.src_worm && !other.done)
+          min_consumed = std::min(min_consumed, other.consumed);
+      src.freed = std::max(src.freed, std::min(min_consumed, src.received));
+    }
+  }
+};
+
+FlitEngine::FlitEngine(const System& sys, const FlitEngineParams& params)
+    : impl_(std::make_shared<Impl>(sys, params)) {}
+
+void FlitEngine::Inject(NodeId n, PacketPtr pkt, Cycles ready) {
+  IRMC_EXPECT(pkt != nullptr);
+  impl_->inject_queues[static_cast<std::size_t>(n)].emplace_back(
+      std::move(pkt), ready);
+}
+
+std::vector<FlitDelivery> FlitEngine::Run(Cycles max_cycles) {
+  Impl& im = *impl_;
+  Cycles now = 0;
+  auto busy = [&im]() {
+    if (im.outstanding > 0 || !im.in_flight.empty()) return true;
+    if (!im.pending_port_release.empty()) return true;
+    for (const auto& q : im.inject_queues)
+      if (!q.empty()) return true;
+    for (const auto& w : im.worms)
+      if (w.port_index >= 0 && !w.routed) return true;
+    for (const auto& c : im.channels)
+      if (c.active_branch != -1 || !c.waiting.empty()) return true;
+    return false;
+  };
+  // Prime outstanding with queued injections so the loop starts.
+  bool primed = false;
+  for (const auto& q : im.inject_queues) primed = primed || !q.empty();
+  IRMC_EXPECT(primed);
+  while (now <= max_cycles) {
+    im.ReleasePorts();
+    im.LandFlits(now);
+    im.PumpInjections(now);
+    im.RouteWorms(now);
+    im.MoveFlits(now);
+    ++now;
+    if (!busy()) break;
+  }
+  IRMC_ENSURE(now <= max_cycles && "flit engine hit the cycle cap");
+  return im.deliveries;
+}
+
+}  // namespace irmc

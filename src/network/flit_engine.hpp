@@ -1,0 +1,58 @@
+// Flit-level wormhole/cut-through engine (validation substrate).
+//
+// A genuinely flit-by-flit, cycle-stepped simulation of the same switch
+// fabric: per-input-port flit buffers with credit backpressure, one flit
+// per cycle per channel, asynchronous replication (each branch of a
+// multidestination worm drains the input buffer at its own rate; a flit
+// is freed once every branch has consumed it). With buffers of at least
+// one packet this must agree exactly with the packet-granular VCT engine
+// on uncontended traffic — tests and bench/ablB assert that — and with
+// smaller buffers it exhibits true wormhole blocking, which the VCT
+// engine cannot express.
+//
+// Routing here is deterministic (first candidate port); compare against
+// a Fabric configured with adaptive=false.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+struct FlitDelivery {
+  NodeId node = kInvalidNode;
+  Cycles head_arrive = 0;
+  Cycles tail_arrive = 0;
+};
+
+struct FlitEngineParams {
+  int buffer_flits = 128;  ///< per input port
+  Cycles route_delay = 1;
+  Cycles xbar_delay = 1;   ///< applied once to the head at each switch
+  Cycles link_delay = 1;
+};
+
+class FlitEngine {
+ public:
+  FlitEngine(const System& sys, const FlitEngineParams& params);
+
+  /// Queue a packet for injection from node n's NI at `ready`.
+  void Inject(NodeId n, PacketPtr pkt, Cycles ready);
+
+  /// Run the cycle loop until all injected traffic is delivered (or
+  /// `max_cycles` elapses, which trips a deadlock check). Returns all
+  /// deliveries in completion order.
+  std::vector<FlitDelivery> Run(Cycles max_cycles = 1'000'000);
+
+ private:
+  struct Worm;  // a worm copy buffered at (or streaming through) a port
+  struct InputPort;
+  struct Channel;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,15 @@
+#include "network/packet.hpp"
+
+namespace irmc {
+
+int PathWormRoute::NumFields() const {
+  int fields = 0;
+  for (const Step& st : steps) {
+    // A (node-ID, port-string) field pair exists for every switch at
+    // which the worm replicates (drops copies) and for the final switch.
+    if (!st.deliver.empty() || st.forward_port == kInvalidPort) ++fields;
+  }
+  return fields;
+}
+
+}  // namespace irmc

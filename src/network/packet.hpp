@@ -1,0 +1,120 @@
+// Packets and worm headers (paper Sections 3.2.3 / 3.2.4).
+//
+// One Packet object is one worm on the wire. Replication at a switch
+// creates new Packet copies with narrowed headers. The header kind
+// selects the routing behaviour in the fabric:
+//
+//  * kUnicast — routed by destination node through the up*/down* tables.
+//  * kTreeWorm — N-bit destination string; travels up until the
+//    remaining set is down-coverable, then replicates downward along
+//    partitioned reachability strings.
+//  * kPathWorm — multi-drop path worm; follows a planner-supplied hop
+//    list, dropping copies to host ports at designated switches and
+//    forwarding through at most one switch port per switch.
+//
+// Wire length = data flits + remaining header flits, so header encoding
+// costs are physically accounted (§3.3 of the paper discusses them only
+// qualitatively; bench/ablD quantifies them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "topology/routing_table.hpp"
+
+namespace irmc {
+
+enum class HeaderKind { kUnicast, kTreeWorm, kPathWorm };
+
+/// Planner-produced route for one multi-drop path worm. steps[i]
+/// describes what the worm does at the i-th switch of its path.
+struct PathWormRoute {
+  struct Step {
+    SwitchId sw = kInvalidSwitch;
+    /// Hosts to drop copies to at this switch.
+    std::vector<NodeId> deliver;
+    /// Port to forward through toward the next step; kInvalidPort ends
+    /// the worm here.
+    PortId forward_port = kInvalidPort;
+    /// Header flits still ahead of the data when the worm leaves this
+    /// switch (fields are stripped as they are consumed).
+    int header_flits_after = 0;
+  };
+  std::vector<Step> steps;
+
+  /// Number of replication switches (steps that deliver or replicate),
+  /// i.e. the number of (node-ID, port-string) field pairs in the
+  /// encoded header.
+  int NumFields() const;
+};
+
+/// A recorded hop for route-legality checks (populated only when the
+/// fabric is configured with record_routes).
+struct HopRecord {
+  SwitchId sw;
+  PortId out_port;  ///< kInvalidPort for a host delivery
+};
+
+struct Packet;
+using PacketPtr = std::shared_ptr<Packet>;
+
+struct Packet {
+  // --- identity / measurement ---
+  std::int64_t mcast_id = -1;  ///< which logical multicast this belongs to
+  int pkt_index = 0;           ///< index within a multi-packet message
+  int num_pkts = 1;
+  NodeId src = kInvalidNode;
+  Cycles mcast_start = 0;  ///< generation time of the whole multicast
+
+  // --- wire size ---
+  int data_flits = 0;
+  int header_flits = 0;
+  int WireFlits() const { return data_flits + header_flits; }
+
+  // --- routing state ---
+  HeaderKind kind = HeaderKind::kUnicast;
+  RoutePhase phase = RoutePhase::kUpAllowed;
+  NodeId uni_dest = kInvalidNode;            // kUnicast
+  NodeSet tree_dests;                        // kTreeWorm: remaining bits
+  std::shared_ptr<const PathWormRoute> path; // kPathWorm
+  std::size_t path_cursor = 0;               // index into path->steps
+
+  /// Per-branch hop log, deep-copied on replication (route-legality
+  /// tests only; null in normal runs).
+  std::shared_ptr<std::vector<HopRecord>> hop_log;
+
+  /// Clone used at replication points; caller then narrows the header of
+  /// the copy. The hop log forks so each branch records its own route.
+  PacketPtr CloneForBranch() const {
+    auto copy = std::make_shared<Packet>(*this);
+    if (hop_log)
+      copy->hop_log = std::make_shared<std::vector<HopRecord>>(*hop_log);
+    return copy;
+  }
+};
+
+/// Header sizing used by all planners; kept in one place so benches can
+/// reason about encoding cost uniformly. Setting `account = false`
+/// zeroes every header (bench/ablD measures the encoding cost this way).
+struct HeaderSizing {
+  /// Unicast routing tag flits.
+  int unicast_flits = 2;
+  bool account = true;
+
+  int UnicastFlits() const { return account ? unicast_flits : 0; }
+  /// Tree worm: ceil(N/8) bit-string flits (plus the unicast-sized tag).
+  int TreeWormFlits(int num_nodes) const {
+    return account ? unicast_flits + (num_nodes + 7) / 8 : 0;
+  }
+  /// Path worm: per replication switch, a node-ID field (1 flit for up
+  /// to 256 nodes) plus a port bit-string field (ceil(ports/8) flits).
+  int PathFieldFlits(int ports_per_switch) const {
+    return account ? 1 + (ports_per_switch + 7) / 8 : 0;
+  }
+};
+
+}  // namespace irmc

@@ -1,0 +1,18 @@
+#include "sim/engine.hpp"
+
+namespace irmc {
+
+Cycles Engine::RunToQuiescence() {
+  while (!queue_.Empty()) queue_.RunNext();
+  return queue_.Now();
+}
+
+bool Engine::RunUntil(Cycles deadline) {
+  while (!queue_.Empty()) {
+    if (queue_.PeekTime() > deadline) return false;
+    queue_.RunNext();
+  }
+  return true;
+}
+
+}  // namespace irmc

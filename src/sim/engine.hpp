@@ -1,0 +1,40 @@
+// Simulation engine: event queue plus run-control helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace irmc {
+
+/// Thin facade over EventQueue used by all models. Provides relative
+/// scheduling and bounded runs (run-until-time / run-until-quiescent).
+class Engine {
+ public:
+  Cycles Now() const { return queue_.Now(); }
+
+  /// Schedule `action` `delay` cycles from now (delay >= 0).
+  void ScheduleAfter(Cycles delay, EventQueue::Action action) {
+    IRMC_EXPECT(delay >= 0);
+    queue_.ScheduleAt(Now() + delay, std::move(action));
+  }
+
+  void ScheduleAt(Cycles when, EventQueue::Action action) {
+    queue_.ScheduleAt(when, std::move(action));
+  }
+
+  /// Run until no events remain. Returns the final time.
+  Cycles RunToQuiescence();
+
+  /// Run until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still run. Returns true if the queue drained first.
+  bool RunUntil(Cycles deadline);
+
+  std::uint64_t events_executed() const { return queue_.executed(); }
+  bool Idle() const { return queue_.Empty(); }
+
+ private:
+  EventQueue queue_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace irmc {
+
+void EventQueue::ScheduleAt(Cycles when, Action action) {
+  IRMC_EXPECT(when >= now_);
+  IRMC_EXPECT(action != nullptr);
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+Cycles EventQueue::PeekTime() const {
+  IRMC_EXPECT(!heap_.empty());
+  return heap_.top().when;
+}
+
+void EventQueue::RunNext() {
+  IRMC_EXPECT(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (shared_ptr inside std::function is cheap
+  // relative to model logic) and pop before running.
+  Entry top = heap_.top();
+  heap_.pop();
+  IRMC_ENSURE(top.when >= now_);
+  now_ = top.when;
+  ++executed_;
+  top.action();
+}
+
+}  // namespace irmc

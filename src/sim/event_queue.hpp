@@ -1,0 +1,61 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a monotone sequence
+// number breaks ties), so a simulation is bit-reproducible from its seed
+// regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace irmc {
+
+/// Callback-based event. Kept deliberately simple: the network model's
+/// hot path schedules O(hops) events per packet, not O(flits), so the
+/// std::function overhead is irrelevant next to model logic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when` (>= current Now()).
+  void ScheduleAt(Cycles when, Action action);
+
+  /// True when no events remain.
+  bool Empty() const { return heap_.empty(); }
+
+  /// Timestamp of the next event. Requires !Empty().
+  Cycles PeekTime() const;
+
+  /// Pop and run the next event, advancing Now() to its timestamp.
+  void RunNext();
+
+  /// Current simulated time (timestamp of the last event run).
+  Cycles Now() const { return now_; }
+
+  /// Number of events executed so far (for perf benches).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Cycles when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace irmc

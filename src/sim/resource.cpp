@@ -1,0 +1,2 @@
+// Intentionally header-only; this TU anchors the target in the build.
+#include "sim/resource.hpp"

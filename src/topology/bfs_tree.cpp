@@ -1,0 +1,63 @@
+#include "topology/bfs_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+BfsTree::BfsTree(const Graph& g, SwitchId root) : root_(root) {
+  IRMC_EXPECT(g.Connected());
+  IRMC_EXPECT(root >= 0 && root < g.num_switches());
+  const auto n = static_cast<std::size_t>(g.num_switches());
+  level_.assign(n, -1);
+  parent_.assign(n, kInvalidSwitch);
+  parent_port_.assign(n, kInvalidPort);
+  children_.assign(n, {});
+
+  std::queue<SwitchId> frontier;
+  level_[static_cast<std::size_t>(root_)] = 0;
+  frontier.push(root_);
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.front();
+    frontier.pop();
+    // Visit neighbours in port order so the tree is deterministic.
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      const auto t = static_cast<std::size_t>(pt.peer_switch);
+      if (level_[t] == -1) {
+        level_[t] = level_[static_cast<std::size_t>(s)] + 1;
+        frontier.push(pt.peer_switch);
+      }
+    }
+  }
+
+  // Parent = lowest-ID neighbour one level up; parent port = the lowest
+  // port leading to it (parallel links resolve to the first).
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s == root_) continue;
+    const auto si = static_cast<std::size_t>(s);
+    SwitchId best = kInvalidSwitch;
+    PortId best_port = kInvalidPort;
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (level_[static_cast<std::size_t>(pt.peer_switch)] != level_[si] - 1)
+        continue;
+      if (best == kInvalidSwitch || pt.peer_switch < best) {
+        best = pt.peer_switch;
+        best_port = p;
+      }
+    }
+    IRMC_ENSURE(best != kInvalidSwitch);
+    parent_[si] = best;
+    parent_port_[si] = best_port;
+    children_[static_cast<std::size_t>(best)].push_back(s);
+    depth_ = std::max(depth_, level_[si]);
+  }
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
+}
+
+}  // namespace irmc

@@ -1,0 +1,57 @@
+// Breadth-first spanning tree of the switch graph (paper Section 2.2).
+//
+// The Autonet routing scheme first computes a BFS spanning tree with a
+// distributed algorithm on which all nodes eventually agree; we compute
+// the same tree centrally and deterministically: the root is the switch
+// with the lowest ID, and each switch's tree parent is its lowest-ID
+// neighbour among those one level closer to the root.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace irmc {
+
+class BfsTree {
+ public:
+  /// Builds the tree rooted at `root` (the Autonet election winner is
+  /// the lowest ID, our default; see topology/root_policy.hpp for
+  /// alternatives).
+  explicit BfsTree(const Graph& g, SwitchId root = 0);
+
+  SwitchId root() const { return root_; }
+
+  /// Distance (in tree levels) from the root; root is level 0.
+  int Level(SwitchId s) const {
+    return level_[static_cast<std::size_t>(s)];
+  }
+
+  /// Tree parent; kInvalidSwitch for the root.
+  SwitchId Parent(SwitchId s) const {
+    return parent_[static_cast<std::size_t>(s)];
+  }
+
+  /// The port of `s` used to reach its parent (lowest such port when
+  /// parallel links exist); kInvalidPort for the root.
+  PortId ParentPort(SwitchId s) const {
+    return parent_port_[static_cast<std::size_t>(s)];
+  }
+
+  /// Tree children of `s`, ascending.
+  const std::vector<SwitchId>& Children(SwitchId s) const {
+    return children_[static_cast<std::size_t>(s)];
+  }
+
+  int depth() const { return depth_; }
+
+ private:
+  SwitchId root_;
+  int depth_ = 0;
+  std::vector<int> level_;
+  std::vector<SwitchId> parent_;
+  std::vector<PortId> parent_port_;
+  std::vector<std::vector<SwitchId>> children_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,99 @@
+#include "topology/deadlock_check.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+namespace {
+
+/// DFS colours for cycle detection.
+enum : char { kWhite = 0, kGrey = 1, kBlack = 2 };
+
+}  // namespace
+
+DeadlockCheckResult CheckChannelDependencies(const System& sys) {
+  const Graph& g = sys.graph;
+  const int ports = g.ports_per_switch();
+
+  // Dense channel ids for switch-switch channels only (injection and
+  // ejection channels are sources/sinks and cannot lie on cycles).
+  auto channel_id = [ports](SwitchId s, PortId p) {
+    return static_cast<int>(s) * ports + static_cast<int>(p);
+  };
+  const int id_space = sys.num_switches() * ports;
+  std::vector<char> is_channel(static_cast<std::size_t>(id_space), 0);
+  std::vector<std::pair<SwitchId, PortId>> channel_of(
+      static_cast<std::size_t>(id_space));
+  for (const auto& [s, p] : g.SwitchPorts()) {
+    is_channel[static_cast<std::size_t>(channel_id(s, p))] = 1;
+    channel_of[static_cast<std::size_t>(channel_id(s, p))] = {s, p};
+  }
+
+  // Dependency edges. A packet arriving at t over (s,p) is in down-only
+  // phase iff the traversal s->t was a down move.
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(id_space));
+  int num_deps = 0;
+  for (const auto& [s, p] : g.SwitchPorts()) {
+    const int c1 = channel_id(s, p);
+    const SwitchId t = g.port(s, p).peer_switch;
+    const RoutePhase phase = sys.updown.IsUp(s, p)
+                                 ? RoutePhase::kUpAllowed
+                                 : RoutePhase::kDownOnly;
+    std::vector<char> seen(static_cast<std::size_t>(ports), 0);
+    for (SwitchId d = 0; d < sys.num_switches(); ++d) {
+      if (d == t) continue;
+      for (PortId q : sys.routing.Candidates(t, d, phase)) {
+        if (seen[static_cast<std::size_t>(q)]) continue;
+        seen[static_cast<std::size_t>(q)] = 1;
+        out[static_cast<std::size_t>(c1)].push_back(channel_id(t, q));
+        ++num_deps;
+      }
+    }
+  }
+
+  DeadlockCheckResult result;
+  result.num_channels = static_cast<int>(g.SwitchPorts().size());
+  result.num_dependencies = num_deps;
+
+  // Iterative DFS cycle detection with path reconstruction.
+  std::vector<char> colour(static_cast<std::size_t>(id_space), kWhite);
+  std::vector<int> parent(static_cast<std::size_t>(id_space), -1);
+  for (int start = 0; start < id_space; ++start) {
+    if (!is_channel[static_cast<std::size_t>(start)]) continue;
+    if (colour[static_cast<std::size_t>(start)] != kWhite) continue;
+    // (node, next child index) stack.
+    std::vector<std::pair<int, std::size_t>> stack{{start, 0}};
+    colour[static_cast<std::size_t>(start)] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      const auto& kids = out[static_cast<std::size_t>(node)];
+      if (child >= kids.size()) {
+        colour[static_cast<std::size_t>(node)] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const int next = kids[child++];
+      if (colour[static_cast<std::size_t>(next)] == kGrey) {
+        // Cycle found: walk the stack back to `next`.
+        result.acyclic = false;
+        std::vector<int> cycle_ids;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle_ids.push_back(it->first);
+          if (it->first == next) break;
+        }
+        std::reverse(cycle_ids.begin(), cycle_ids.end());
+        for (int id : cycle_ids)
+          result.cycle.push_back(channel_of[static_cast<std::size_t>(id)]);
+        return result;
+      }
+      if (colour[static_cast<std::size_t>(next)] == kWhite) {
+        colour[static_cast<std::size_t>(next)] = kGrey;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace irmc

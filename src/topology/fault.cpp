@@ -1,0 +1,69 @@
+#include "topology/fault.hpp"
+
+#include "common/expect.hpp"
+
+namespace irmc {
+namespace {
+
+/// Rebuilds `g` without the link at (sw, port); no connectivity check.
+Graph CopyWithoutLink(const Graph& g, SwitchId sw, PortId port) {
+  const Port& gone = g.port(sw, port);
+  IRMC_EXPECT(gone.kind == PortKind::kSwitch);
+  Graph out(g.num_switches(), g.ports_per_switch());
+  for (NodeId n = 0; n < g.num_hosts(); ++n) {
+    const HostAttachment& at = g.host(n);
+    out.AttachHost(at.sw, at.port);
+  }
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (s == sw && p == port) continue;  // the failed link
+      if (pt.peer_switch == sw && pt.peer_port == port) continue;
+      // Add each link once, from its lower end.
+      if (pt.peer_switch < s ||
+          (pt.peer_switch == s && pt.peer_port < p))
+        continue;
+      out.AddLink(s, p, pt.peer_switch, pt.peer_port);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LinkRef> AllLinks(const Graph& g) {
+  std::vector<LinkRef> out;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (pt.peer_switch < s ||
+          (pt.peer_switch == s && pt.peer_port < p))
+        continue;
+      out.push_back(LinkRef{s, p});
+    }
+  }
+  return out;
+}
+
+std::optional<Graph> WithoutLink(const Graph& g, SwitchId sw, PortId port) {
+  if (sw < 0 || sw >= g.num_switches() || port < 0 ||
+      port >= g.ports_per_switch())
+    return std::nullopt;
+  if (g.port(sw, port).kind != PortKind::kSwitch) return std::nullopt;
+  Graph degraded = CopyWithoutLink(g, sw, port);
+  if (!degraded.Connected()) return std::nullopt;
+  return degraded;
+}
+
+std::vector<LinkRef> CriticalLinks(const Graph& g) {
+  std::vector<LinkRef> critical;
+  for (const LinkRef& link : AllLinks(g)) {
+    const Graph degraded = CopyWithoutLink(g, link.sw, link.port);
+    if (!degraded.Connected()) critical.push_back(link);
+  }
+  return critical;
+}
+
+}  // namespace irmc

@@ -1,0 +1,39 @@
+// Fault injection and Autonet-style reconfiguration.
+//
+// The paper motivates irregular topologies with resilience: "easy
+// addition and deletion of nodes ... more amenable to network
+// reconfigurations and resistant to faults". Autonet reacts to a failed
+// link by recomputing the spanning tree and routing tables on the
+// surviving graph. This module removes links (and finds which ones are
+// safe to lose) so a fresh System can be built on the degraded
+// topology; tests verify multicasts still deliver afterwards.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace irmc {
+
+/// A bidirectional link identified by one of its ends.
+struct LinkRef {
+  SwitchId sw = kInvalidSwitch;
+  PortId port = kInvalidPort;
+};
+
+/// All links, each listed once (from its lower (switch, port) end).
+std::vector<LinkRef> AllLinks(const Graph& g);
+
+/// Copy of `g` with the link at (sw, port) removed; std::nullopt if the
+/// port is not a switch port or the removal disconnects the switch
+/// graph (an unsurvivable fault — no reconfiguration can route around a
+/// bridge).
+std::optional<Graph> WithoutLink(const Graph& g, SwitchId sw, PortId port);
+
+/// Links whose removal disconnects the graph (bridges). Every link of a
+/// spanning tree with no extra links is critical; a well-provisioned
+/// irregular network has few or none.
+std::vector<LinkRef> CriticalLinks(const Graph& g);
+
+}  // namespace irmc

@@ -1,0 +1,83 @@
+#include "topology/graph.hpp"
+
+#include <queue>
+
+namespace irmc {
+
+Graph::Graph(int num_switches, int ports_per_switch)
+    : ports_per_switch_(ports_per_switch) {
+  IRMC_EXPECT(num_switches > 0);
+  IRMC_EXPECT(ports_per_switch > 0);
+  ports_.assign(static_cast<std::size_t>(num_switches),
+                std::vector<Port>(static_cast<std::size_t>(ports_per_switch)));
+  hosts_at_.assign(static_cast<std::size_t>(num_switches), {});
+}
+
+NodeId Graph::AttachHost(SwitchId s, PortId p) {
+  auto& port = ports_[CheckSwitch(s)][CheckPort(p)];
+  IRMC_EXPECT(port.kind == PortKind::kFree);
+  const NodeId n = static_cast<NodeId>(hosts_.size());
+  port.kind = PortKind::kHost;
+  port.host = n;
+  hosts_.push_back(HostAttachment{s, p});
+  hosts_at_[static_cast<std::size_t>(s)].push_back(n);
+  return n;
+}
+
+void Graph::AddLink(SwitchId a, PortId pa, SwitchId b, PortId pb) {
+  IRMC_EXPECT(a != b);
+  auto& port_a = ports_[CheckSwitch(a)][CheckPort(pa)];
+  auto& port_b = ports_[CheckSwitch(b)][CheckPort(pb)];
+  IRMC_EXPECT(port_a.kind == PortKind::kFree);
+  IRMC_EXPECT(port_b.kind == PortKind::kFree);
+  port_a = Port{PortKind::kSwitch, b, pb, kInvalidNode};
+  port_b = Port{PortKind::kSwitch, a, pa, kInvalidNode};
+  ++num_links_;
+}
+
+PortId Graph::FirstFreePort(SwitchId s) const {
+  const auto& sw = ports_[CheckSwitch(s)];
+  for (PortId p = 0; p < ports_per_switch_; ++p)
+    if (sw[static_cast<std::size_t>(p)].kind == PortKind::kFree) return p;
+  return kInvalidPort;
+}
+
+int Graph::FreePortCount(SwitchId s) const {
+  const auto& sw = ports_[CheckSwitch(s)];
+  int count = 0;
+  for (const auto& port : sw)
+    if (port.kind == PortKind::kFree) ++count;
+  return count;
+}
+
+std::vector<std::pair<SwitchId, PortId>> Graph::SwitchPorts() const {
+  std::vector<std::pair<SwitchId, PortId>> out;
+  for (SwitchId s = 0; s < num_switches(); ++s)
+    for (PortId p = 0; p < ports_per_switch_; ++p)
+      if (port(s, p).kind == PortKind::kSwitch) out.emplace_back(s, p);
+  return out;
+}
+
+bool Graph::Connected() const {
+  std::vector<char> seen(static_cast<std::size_t>(num_switches()), 0);
+  std::queue<SwitchId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  int visited = 1;
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.front();
+    frontier.pop();
+    for (PortId p = 0; p < ports_per_switch_; ++p) {
+      const Port& pt = port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (!seen[static_cast<std::size_t>(pt.peer_switch)]) {
+        seen[static_cast<std::size_t>(pt.peer_switch)] = 1;
+        ++visited;
+        frontier.push(pt.peer_switch);
+      }
+    }
+  }
+  return visited == num_switches();
+}
+
+}  // namespace irmc

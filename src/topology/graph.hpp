@@ -1,0 +1,98 @@
+// Irregular switch-based interconnect graph (paper Section 2.1).
+//
+// A system is a set of switches, each with a fixed number of ports. A
+// port is either free, attached to a host (processing node), or wired to
+// a port of another switch by a bidirectional link. Multiple links
+// between the same pair of switches are allowed; self-links are not.
+#pragma once
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace irmc {
+
+enum class PortKind { kFree, kHost, kSwitch };
+
+struct Port {
+  PortKind kind = PortKind::kFree;
+  // kSwitch:
+  SwitchId peer_switch = kInvalidSwitch;
+  PortId peer_port = kInvalidPort;
+  // kHost:
+  NodeId host = kInvalidNode;
+};
+
+struct HostAttachment {
+  SwitchId sw = kInvalidSwitch;
+  PortId port = kInvalidPort;
+};
+
+class Graph {
+ public:
+  Graph(int num_switches, int ports_per_switch);
+
+  int num_switches() const { return static_cast<int>(ports_.size()); }
+  int ports_per_switch() const { return ports_per_switch_; }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+
+  const Port& port(SwitchId s, PortId p) const {
+    return ports_[CheckSwitch(s)][CheckPort(p)];
+  }
+
+  /// Where host n plugs in.
+  const HostAttachment& host(NodeId n) const {
+    IRMC_EXPECT(n >= 0 && n < num_hosts());
+    return hosts_[static_cast<std::size_t>(n)];
+  }
+
+  /// Switch that host n is attached to.
+  SwitchId SwitchOf(NodeId n) const { return host(n).sw; }
+
+  /// Hosts attached to switch s, ascending.
+  const std::vector<NodeId>& HostsAt(SwitchId s) const {
+    return hosts_at_[CheckSwitch(s)];
+  }
+
+  /// Attach the next host (IDs are assigned densely in call order).
+  /// Returns the new host's NodeId.
+  NodeId AttachHost(SwitchId s, PortId p);
+
+  /// Wire a bidirectional link between two free ports of two distinct
+  /// switches.
+  void AddLink(SwitchId a, PortId pa, SwitchId b, PortId pb);
+
+  /// First free port of switch s, or kInvalidPort.
+  PortId FirstFreePort(SwitchId s) const;
+
+  int FreePortCount(SwitchId s) const;
+
+  /// All (switch,port) pairs with kind kSwitch, i.e. both directions of
+  /// every link, in (s, p) order. Useful for iterating channels.
+  std::vector<std::pair<SwitchId, PortId>> SwitchPorts() const;
+
+  /// Number of bidirectional switch-switch links.
+  int NumLinks() const { return num_links_; }
+
+  /// True when the switch graph is connected (ignores hosts).
+  bool Connected() const;
+
+ private:
+  std::size_t CheckSwitch(SwitchId s) const {
+    IRMC_EXPECT(s >= 0 && s < num_switches());
+    return static_cast<std::size_t>(s);
+  }
+  std::size_t CheckPort(PortId p) const {
+    IRMC_EXPECT(p >= 0 && p < ports_per_switch_);
+    return static_cast<std::size_t>(p);
+  }
+
+  int ports_per_switch_;
+  int num_links_ = 0;
+  std::vector<std::vector<Port>> ports_;            // [switch][port]
+  std::vector<HostAttachment> hosts_;               // [node]
+  std::vector<std::vector<NodeId>> hosts_at_;       // [switch] -> nodes
+};
+
+}  // namespace irmc

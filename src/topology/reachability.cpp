@@ -1,0 +1,71 @@
+#include "topology/reachability.hpp"
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+Reachability::Reachability(const Graph& g, const UpDownOrientation& ud,
+                           const RoutingTable& rt)
+    : ports_(g.ports_per_switch()) {
+  const int num_switches = g.num_switches();
+  const int num_nodes = g.num_hosts();
+  const auto s_count = static_cast<std::size_t>(num_switches);
+
+  raw_.assign(s_count * static_cast<std::size_t>(ports_), NodeSet(num_nodes));
+  primary_.assign(s_count * static_cast<std::size_t>(ports_),
+                  NodeSet(num_nodes));
+  local_.assign(s_count, NodeSet(num_nodes));
+  down_cover_.assign(s_count, NodeSet(num_nodes));
+
+  for (SwitchId s = 0; s < num_switches; ++s)
+    for (NodeId n : g.HostsAt(s)) local_[static_cast<std::size_t>(s)].Set(n);
+
+  // Raw string for down port (s,p) -> t: nodes at switches u with a
+  // pure-down route t ->* u (DownDistance(t, u) >= 0), including t.
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    for (PortId p : ud.DownPorts(s)) {
+      const SwitchId t = g.port(s, p).peer_switch;
+      NodeSet& str = raw_[Idx(s, p)];
+      for (SwitchId u = 0; u < num_switches; ++u) {
+        if (rt.DownDistance(t, u) < 0) continue;
+        str |= local_[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+
+  // Primary owner of node n at switch s: the down port minimizing
+  // (1 + down-distance from its peer to n's switch), ties to the lowest
+  // port ID.
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      const SwitchId target = g.SwitchOf(n);
+      PortId best_port = kInvalidPort;
+      int best_dist = 0;
+      for (PortId p : ud.DownPorts(s)) {
+        const SwitchId t = g.port(s, p).peer_switch;
+        const int d = rt.DownDistance(t, target);
+        if (d < 0) continue;
+        if (best_port == kInvalidPort || d < best_dist) {
+          best_port = p;
+          best_dist = d;
+        }
+      }
+      if (best_port != kInvalidPort) {
+        primary_[Idx(s, best_port)].Set(n);
+        down_cover_[static_cast<std::size_t>(s)].Set(n);
+      }
+    }
+  }
+
+  // Invariants: primary strings are disjoint subsets of the raw strings.
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    NodeSet seen(num_nodes);
+    for (PortId p : ud.DownPorts(s)) {
+      IRMC_ENSURE(primary_[Idx(s, p)].IsSubsetOf(raw_[Idx(s, p)]));
+      IRMC_ENSURE(!seen.Intersects(primary_[Idx(s, p)]));
+      seen |= primary_[Idx(s, p)];
+    }
+  }
+}
+
+}  // namespace irmc

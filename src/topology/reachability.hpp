@@ -1,0 +1,66 @@
+// Per-port reachability strings for tree-based multidestination worms
+// (paper Section 3.2.3).
+//
+// Every switch associates with each of its "down" output ports an N-bit
+// reachability string: the set of nodes reachable through that port by
+// pure-down routes. Because an irregular graph can down-reach the same
+// node through several ports, forwarding a worm to every matching port
+// would deliver duplicates; we additionally compute a *partitioned*
+// ("primary") reachability — each node is owned by exactly one down port
+// (the one with the shortest down distance, lowest port ID on ties) — and
+// the switch hardware of the simulator routes worm header bits by the
+// partitioned strings. The raw strings are kept for reporting and tests.
+#pragma once
+
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "topology/graph.hpp"
+#include "topology/routing_table.hpp"
+#include "topology/updown.hpp"
+
+namespace irmc {
+
+class Reachability {
+ public:
+  Reachability(const Graph& g, const UpDownOrientation& ud,
+               const RoutingTable& rt);
+
+  /// Raw reachability string of down port p at switch s (nodes attached
+  /// to switches down-reachable through that port, peer switch included).
+  /// Zero set for non-down ports.
+  const NodeSet& Raw(SwitchId s, PortId p) const {
+    return raw_[Idx(s, p)];
+  }
+
+  /// Partitioned reachability: disjoint across the down ports of s.
+  const NodeSet& Primary(SwitchId s, PortId p) const {
+    return primary_[Idx(s, p)];
+  }
+
+  /// Nodes attached directly to switch s.
+  const NodeSet& Local(SwitchId s) const {
+    return local_[static_cast<std::size_t>(s)];
+  }
+
+  /// Union of partitioned strings over all down ports of s — everything
+  /// a worm can finish covering from s without further up hops
+  /// (locally attached nodes NOT included).
+  const NodeSet& DownCover(SwitchId s) const {
+    return down_cover_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  std::size_t Idx(SwitchId s, PortId p) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(p);
+  }
+
+  int ports_;
+  std::vector<NodeSet> raw_;      // [switch*ports + port]
+  std::vector<NodeSet> primary_;  // [switch*ports + port]
+  std::vector<NodeSet> local_;    // [switch]
+  std::vector<NodeSet> down_cover_;
+};
+
+}  // namespace irmc

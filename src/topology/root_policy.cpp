@@ -1,0 +1,85 @@
+#include "topology/root_policy.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+namespace {
+
+int SwitchDegree(const Graph& g, SwitchId s) {
+  int degree = 0;
+  for (PortId p = 0; p < g.ports_per_switch(); ++p)
+    if (g.port(s, p).kind == PortKind::kSwitch) ++degree;
+  return degree;
+}
+
+/// Hop distances from `from` over the switch graph.
+std::vector<int> Distances(const Graph& g, SwitchId from) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_switches()), -1);
+  std::queue<SwitchId> frontier;
+  dist[static_cast<std::size_t>(from)] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.front();
+    frontier.pop();
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      auto& d = dist[static_cast<std::size_t>(pt.peer_switch)];
+      if (d == -1) {
+        d = dist[static_cast<std::size_t>(s)] + 1;
+        frontier.push(pt.peer_switch);
+      }
+    }
+  }
+  return dist;
+}
+
+int Eccentricity(const Graph& g, SwitchId s) {
+  int worst = 0;
+  for (int d : Distances(g, s)) {
+    IRMC_ENSURE(d >= 0);  // connected
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace
+
+SwitchId SelectRoot(const Graph& g, RootPolicy policy) {
+  IRMC_EXPECT(g.Connected());
+  switch (policy) {
+    case RootPolicy::kLowestId:
+      return 0;
+    case RootPolicy::kMaxDegree: {
+      SwitchId best = 0;
+      int best_degree = SwitchDegree(g, 0);
+      for (SwitchId s = 1; s < g.num_switches(); ++s) {
+        const int degree = SwitchDegree(g, s);
+        if (degree > best_degree) {
+          best = s;
+          best_degree = degree;
+        }
+      }
+      return best;
+    }
+    case RootPolicy::kMinEccentricity: {
+      SwitchId best = 0;
+      int best_ecc = Eccentricity(g, 0);
+      for (SwitchId s = 1; s < g.num_switches(); ++s) {
+        const int ecc = Eccentricity(g, s);
+        if (ecc < best_ecc) {
+          best = s;
+          best_ecc = ecc;
+        }
+      }
+      return best;
+    }
+  }
+  IRMC_ENSURE(false && "unknown policy");
+  return 0;
+}
+
+}  // namespace irmc

@@ -1,0 +1,33 @@
+// Spanning-tree root selection.
+//
+// Autonet elects the root by ID; later work observed that up*/down*
+// quality depends heavily on the root (a poorly placed root concentrates
+// up-segment traffic). We provide three policies: the Autonet default
+// (lowest ID), highest switch degree (more down fan-out at the top), and
+// minimum eccentricity (a graph centre, shortening worst-case up
+// segments). bench/ablE quantifies the effect.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace irmc {
+
+enum class RootPolicy {
+  kLowestId,         ///< Autonet's election result (our default)
+  kMaxDegree,        ///< most switch-switch ports; ties to lower ID
+  kMinEccentricity,  ///< graph centre; ties to lower ID
+};
+
+constexpr const char* ToString(RootPolicy policy) {
+  switch (policy) {
+    case RootPolicy::kLowestId: return "lowest-id";
+    case RootPolicy::kMaxDegree: return "max-degree";
+    case RootPolicy::kMinEccentricity: return "min-eccentricity";
+  }
+  return "?";
+}
+
+/// Chooses the BFS root under `policy`. Requires a connected graph.
+SwitchId SelectRoot(const Graph& g, RootPolicy policy);
+
+}  // namespace irmc

@@ -1,0 +1,130 @@
+#include "topology/routing_table.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+RoutingTable::RoutingTable(const Graph& g, const UpDownOrientation& ud)
+    : graph_(g), ud_(ud), num_switches_(g.num_switches()) {
+  const auto s_count = static_cast<std::size_t>(num_switches_);
+  dist_down_.assign(s_count * s_count, kInf);
+  dist_any_.assign(s_count * s_count, kInf);
+  cand_up_phase_.assign(s_count * s_count, {});
+  cand_down_phase_.assign(s_count * s_count, {});
+
+  // Incoming-down adjacency: for switch u, the switches s with a down
+  // move s -> u.
+  std::vector<std::vector<SwitchId>> down_into(s_count);
+  for (SwitchId s = 0; s < num_switches_; ++s)
+    for (PortId p : ud.DownPorts(s))
+      down_into[static_cast<std::size_t>(g.port(s, p).peer_switch)].push_back(s);
+
+  for (SwitchId dest = 0; dest < num_switches_; ++dest) {
+    // dist_down: BFS from dest over reversed down edges.
+    dist_down_[Idx(dest, dest)] = 0;
+    std::queue<SwitchId> frontier;
+    frontier.push(dest);
+    while (!frontier.empty()) {
+      const SwitchId u = frontier.front();
+      frontier.pop();
+      for (SwitchId s : down_into[static_cast<std::size_t>(u)]) {
+        if (dist_down_[Idx(dest, s)] == kInf) {
+          dist_down_[Idx(dest, s)] = dist_down_[Idx(dest, u)] + 1;
+          frontier.push(s);
+        }
+      }
+    }
+
+    // dist_any: fixpoint of
+    //   dist_any[s] = min(dist_down[s], 1 + min over up moves s->t of
+    //   dist_any[t]).
+    // The up relation is acyclic so this converges in <= S sweeps.
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      dist_any_[Idx(dest, s)] = dist_down_[Idx(dest, s)];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (SwitchId s = 0; s < num_switches_; ++s) {
+        for (PortId p : ud.UpPorts(s)) {
+          const SwitchId t = g.port(s, p).peer_switch;
+          const int via = dist_any_[Idx(dest, t)];
+          if (via != kInf && via + 1 < dist_any_[Idx(dest, s)]) {
+            dist_any_[Idx(dest, s)] = via + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    // Every switch must reach every other (up to root, down the tree).
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      IRMC_ENSURE(dist_any_[Idx(dest, s)] != kInf);
+
+    // Candidate ports on shortest legal routes.
+    for (SwitchId s = 0; s < num_switches_; ++s) {
+      if (s == dest) continue;
+      auto& up_cand = cand_up_phase_[Idx(dest, s)];
+      auto& down_cand = cand_down_phase_[Idx(dest, s)];
+      const int want_any = dist_any_[Idx(dest, s)];
+      const int want_down = dist_down_[Idx(dest, s)];
+      for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+        const Port& pt = g.port(s, p);
+        if (pt.kind != PortKind::kSwitch) continue;
+        const SwitchId t = pt.peer_switch;
+        if (ud.IsUp(s, p)) {
+          if (dist_any_[Idx(dest, t)] + 1 == want_any) up_cand.push_back(p);
+        } else {
+          const int dd = dist_down_[Idx(dest, t)];
+          if (dd != kInf && dd + 1 == want_any) up_cand.push_back(p);
+          if (want_down != kInf && dd != kInf && dd + 1 == want_down)
+            down_cand.push_back(p);
+        }
+      }
+      IRMC_ENSURE(!up_cand.empty());
+      // down_cand may legitimately be empty when s cannot down-reach
+      // dest; a packet in kDownOnly phase never finds itself at such a
+      // switch (its previous hop followed the table).
+    }
+  }
+}
+
+const std::vector<PortId>& RoutingTable::Candidates(SwitchId here,
+                                                    SwitchId dest,
+                                                    RoutePhase phase) const {
+  if (here == dest) return empty_;
+  const auto& cand = phase == RoutePhase::kUpAllowed
+                         ? cand_up_phase_[Idx(dest, here)]
+                         : cand_down_phase_[Idx(dest, here)];
+  return cand;
+}
+
+RoutePhase RoutingTable::NextPhase(SwitchId here, PortId port,
+                                   RoutePhase phase) const {
+  IRMC_EXPECT(graph_.port(here, port).kind == PortKind::kSwitch);
+  if (phase == RoutePhase::kDownOnly) {
+    IRMC_EXPECT(ud_.IsDown(here, port));
+    return RoutePhase::kDownOnly;
+  }
+  return ud_.IsUp(here, port) ? RoutePhase::kUpAllowed
+                              : RoutePhase::kDownOnly;
+}
+
+bool RoutingTable::IsLegalRoute(SwitchId start,
+                                const std::vector<PortId>& hops) const {
+  SwitchId here = start;
+  bool gone_down = false;
+  for (PortId p : hops) {
+    if (p < 0 || p >= graph_.ports_per_switch()) return false;
+    const Port& pt = graph_.port(here, p);
+    if (pt.kind != PortKind::kSwitch) return false;
+    const bool up = ud_.IsUp(here, p);
+    if (up && gone_down) return false;
+    if (!up) gone_down = true;
+    here = pt.peer_switch;
+  }
+  return true;
+}
+
+}  // namespace irmc

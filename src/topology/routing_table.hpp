@@ -1,0 +1,77 @@
+// Adaptive up*/down* routing tables (paper Section 2.2).
+//
+// For every (current switch, destination switch) pair we precompute the
+// set of output ports that lie on a *shortest legal* route, separately
+// for the two flow-control phases a packet can be in:
+//
+//  * kUpAllowed — the packet has not yet taken a down link; it may take
+//    an up link or start its down segment.
+//  * kDownOnly  — the packet has taken a down link; only down links that
+//    continue a pure-down path to the destination are legal.
+//
+// At simulation time the switch picks adaptively among the candidates
+// (shortest output queue); a deterministic mode always takes the first.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/updown.hpp"
+
+namespace irmc {
+
+enum class RoutePhase { kUpAllowed, kDownOnly };
+
+class RoutingTable {
+ public:
+  RoutingTable(const Graph& g, const UpDownOrientation& ud);
+
+  /// Shortest legal switch-to-switch hop count from s to t (0 if s==t).
+  int Distance(SwitchId s, SwitchId t) const {
+    return dist_any_[Idx(t, s)];
+  }
+
+  /// Shortest pure-down distance s -> t, or -1 if t is not reachable
+  /// from s by down links only.
+  int DownDistance(SwitchId s, SwitchId t) const {
+    const int d = dist_down_[Idx(t, s)];
+    return d == kInf ? -1 : d;
+  }
+
+  /// Candidate output ports at `here` for a packet headed to switch
+  /// `dest` in the given phase, restricted to shortest legal routes.
+  /// Empty only if here == dest (deliver locally).
+  const std::vector<PortId>& Candidates(SwitchId here, SwitchId dest,
+                                        RoutePhase phase) const;
+
+  /// Resulting phase after leaving `here` through `port` (down moves
+  /// latch kDownOnly).
+  RoutePhase NextPhase(SwitchId here, PortId port, RoutePhase phase) const;
+
+  /// True when the hop sequence (ports taken out of successive switches,
+  /// starting at `start`) forms a legal up*/down* route. Used by tests
+  /// and by the worm planners to validate generated paths.
+  bool IsLegalRoute(SwitchId start, const std::vector<PortId>& hops) const;
+
+  int num_switches() const { return num_switches_; }
+
+ private:
+  static constexpr int kInf = 1 << 28;
+
+  std::size_t Idx(SwitchId dest, SwitchId here) const {
+    return static_cast<std::size_t>(dest) *
+               static_cast<std::size_t>(num_switches_) +
+           static_cast<std::size_t>(here);
+  }
+
+  const Graph& graph_;
+  const UpDownOrientation& ud_;
+  int num_switches_;
+  std::vector<int> dist_down_;  // [dest][here]
+  std::vector<int> dist_any_;   // [dest][here]
+  std::vector<std::vector<PortId>> cand_up_phase_;    // [dest*S + here]
+  std::vector<std::vector<PortId>> cand_down_phase_;  // [dest*S + here]
+  std::vector<PortId> empty_;
+};
+
+}  // namespace irmc

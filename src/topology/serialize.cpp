@@ -1,0 +1,130 @@
+#include "topology/serialize.hpp"
+
+#include <sstream>
+
+namespace irmc {
+
+std::string ToText(const Graph& g) {
+  std::ostringstream out;
+  out << "irmc-topology 1\n";
+  out << "switches " << g.num_switches() << " ports " << g.ports_per_switch()
+      << "\n";
+  for (NodeId n = 0; n < g.num_hosts(); ++n) {
+    const HostAttachment& at = g.host(n);
+    out << "host " << n << " " << at.sw << " " << at.port << "\n";
+  }
+  // Each link once: from its lexicographically smaller (switch, port) end.
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (pt.peer_switch < s ||
+          (pt.peer_switch == s && pt.peer_port < p))
+        continue;
+      out << "link " << s << " " << p << " " << pt.peer_switch << " "
+          << pt.peer_port << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::optional<Graph> GraphFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  auto next_content_line = [&](std::string& out_line) {
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      // Skip blank (or whitespace-only) lines.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      out_line = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string content;
+  if (!next_content_line(content)) return std::nullopt;
+  {
+    std::istringstream head(content);
+    std::string magic;
+    int version = 0;
+    head >> magic >> version;
+    if (magic != "irmc-topology" || version != 1) return std::nullopt;
+  }
+  if (!next_content_line(content)) return std::nullopt;
+  int switches = 0, ports = 0;
+  {
+    std::istringstream head(content);
+    std::string kw1, kw2;
+    head >> kw1 >> switches >> kw2 >> ports;
+    if (kw1 != "switches" || kw2 != "ports" || switches <= 0 || ports <= 0)
+      return std::nullopt;
+  }
+
+  Graph g(switches, ports);
+  NodeId expected_host = 0;
+  while (next_content_line(content)) {
+    std::istringstream row(content);
+    std::string kind;
+    row >> kind;
+    if (kind == "host") {
+      NodeId n = kInvalidNode;
+      SwitchId s = kInvalidSwitch;
+      PortId p = kInvalidPort;
+      row >> n >> s >> p;
+      if (row.fail() || n != expected_host) return std::nullopt;
+      if (s < 0 || s >= switches || p < 0 || p >= ports) return std::nullopt;
+      if (g.port(s, p).kind != PortKind::kFree) return std::nullopt;
+      g.AttachHost(s, p);
+      ++expected_host;
+    } else if (kind == "link") {
+      SwitchId a = kInvalidSwitch, b = kInvalidSwitch;
+      PortId pa = kInvalidPort, pb = kInvalidPort;
+      row >> a >> pa >> b >> pb;
+      if (row.fail()) return std::nullopt;
+      if (a < 0 || a >= switches || b < 0 || b >= switches || a == b)
+        return std::nullopt;
+      if (pa < 0 || pa >= ports || pb < 0 || pb >= ports) return std::nullopt;
+      if (g.port(a, pa).kind != PortKind::kFree ||
+          g.port(b, pb).kind != PortKind::kFree)
+        return std::nullopt;
+      g.AddLink(a, pa, b, pb);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return g;
+}
+
+std::string ToDot(const System& sys) {
+  const Graph& g = sys.graph;
+  std::ostringstream out;
+  out << "digraph irmc {\n  rankdir=TB;\n"
+      << "  node [fontsize=10];\n";
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    out << "  sw" << s << " [shape=box, label=\"S" << s << "\\nL"
+        << sys.tree.Level(s) << "\"];\n";
+  }
+  for (NodeId n = 0; n < g.num_hosts(); ++n) {
+    out << "  h" << n << " [shape=ellipse, label=\"" << n << "\"];\n";
+    out << "  sw" << g.SwitchOf(n) << " -> h" << n
+        << " [dir=none, style=dotted];\n";
+  }
+  // Draw each link once, from its up end down to its down end, so the
+  // BFS hierarchy reads top to bottom.
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      if (!sys.updown.IsDown(s, p)) continue;  // draw from the up end only
+      out << "  sw" << s << " -> sw" << pt.peer_switch << " [label=\"" << p
+          << ":" << pt.peer_port << "\", fontsize=8];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace irmc

@@ -1,0 +1,33 @@
+// Topology serialization: a line-oriented text format for reproducible
+// experiments (save a generated topology, reload it elsewhere) and a
+// Graphviz DOT export for visualisation.
+//
+// Text format (version 1):
+//   irmc-topology 1
+//   switches <S> ports <P>
+//   host <node-id> <switch> <port>     # in ascending node-id order
+//   link <switch-a> <port-a> <switch-b> <port-b>
+// Comments (#...) and blank lines are ignored.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "topology/graph.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+/// Serializes a graph to the text format.
+std::string ToText(const Graph& g);
+
+/// Parses the text format; std::nullopt on malformed input (wrong
+/// magic, out-of-range indices, port conflicts, non-dense host ids).
+std::optional<Graph> GraphFromText(const std::string& text);
+
+/// Graphviz DOT of the full system: switches as boxes labelled with
+/// level, hosts as ellipses, links drawn from the down end to the up
+/// end so the BFS hierarchy reads top-down.
+std::string ToDot(const System& sys);
+
+}  // namespace irmc

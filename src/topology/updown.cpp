@@ -1,0 +1,39 @@
+#include "topology/updown.hpp"
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+UpDownOrientation::UpDownOrientation(const Graph& g, const BfsTree& tree)
+    : ports_(g.ports_per_switch()) {
+  const auto n = static_cast<std::size_t>(g.num_switches());
+  is_up_.assign(n * static_cast<std::size_t>(ports_), 0);
+  up_ports_.assign(n, {});
+  down_ports_.assign(n, {});
+
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < ports_; ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      const SwitchId t = pt.peer_switch;
+      const int ls = tree.Level(s);
+      const int lt = tree.Level(t);
+      // Traversal s -> t is "up" iff t is the up end of this link.
+      const bool up = (lt < ls) || (lt == ls && t < s);
+      is_up_[Index(s, p)] = up ? 1 : 0;
+      if (up)
+        up_ports_[static_cast<std::size_t>(s)].push_back(p);
+      else
+        down_ports_[static_cast<std::size_t>(s)].push_back(p);
+    }
+  }
+
+  // Sanity: the root has no up ports; every other switch has at least one.
+  IRMC_ENSURE(up_ports_[static_cast<std::size_t>(tree.root())].empty());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s == tree.root()) continue;
+    IRMC_ENSURE(!up_ports_[static_cast<std::size_t>(s)].empty());
+  }
+}
+
+}  // namespace irmc

@@ -1,0 +1,48 @@
+// Up/down orientation of links (paper Section 2.2, after Autonet).
+//
+// The "up" end of each link is (1) the end whose switch is closer to the
+// BFS-tree root, or (2) the end with the lower switch ID when both ends
+// are at the same level. The resulting directed "up" links form no
+// loops, and a legal route traverses zero or more up links followed by
+// zero or more down links (the up*/down* rule).
+#pragma once
+
+#include <vector>
+
+#include "topology/bfs_tree.hpp"
+#include "topology/graph.hpp"
+
+namespace irmc {
+
+class UpDownOrientation {
+ public:
+  UpDownOrientation(const Graph& g, const BfsTree& tree);
+
+  /// True when traversing out of switch s through port p moves toward
+  /// the "up" end of that link. Requires the port to be a switch port.
+  bool IsUp(SwitchId s, PortId p) const {
+    return is_up_[Index(s, p)];
+  }
+  bool IsDown(SwitchId s, PortId p) const { return !IsUp(s, p); }
+
+  /// Ports of s whose traversal is an up (resp. down) move, ascending.
+  const std::vector<PortId>& UpPorts(SwitchId s) const {
+    return up_ports_[static_cast<std::size_t>(s)];
+  }
+  const std::vector<PortId>& DownPorts(SwitchId s) const {
+    return down_ports_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  std::size_t Index(SwitchId s, PortId p) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(p);
+  }
+
+  int ports_;
+  std::vector<char> is_up_;
+  std::vector<std::vector<PortId>> up_ports_;
+  std::vector<std::vector<PortId>> down_ports_;
+};
+
+}  // namespace irmc

@@ -1,0 +1,46 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+LatencyBreakdown AnalyzeMulticast(const Tracer& tracer,
+                                  std::int64_t mcast_id) {
+  LatencyBreakdown out;
+  bool saw_send = false, saw_inject = false, saw_ni = false, saw_host = false;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.mcast_id != mcast_id) continue;
+    switch (e.kind) {
+      case TraceKind::kSendStart:
+        if (!saw_send || e.time < out.start) out.start = e.time;
+        saw_send = true;
+        break;
+      case TraceKind::kHeadArrive:
+        if (!saw_inject || e.time < out.network_entry)
+          out.network_entry = e.time;
+        saw_inject = true;
+        break;
+      case TraceKind::kNiDeliver:
+        out.last_ni_arrival = std::max(out.last_ni_arrival, e.time);
+        saw_ni = true;
+        break;
+      case TraceKind::kHostDeliver:
+        out.completion = std::max(out.completion, e.time);
+        saw_host = true;
+        break;
+      default:
+        break;
+    }
+  }
+  IRMC_EXPECT(saw_send && saw_inject && saw_ni && saw_host);
+  // The decomposition is only meaningful on a completed multicast;
+  // clamp pathological orderings (a forwarding node's late NI arrival
+  // can postdate an early destination's completion for multi-phase
+  // schemes — the critical path still ends at the last host delivery).
+  out.last_ni_arrival = std::min(out.last_ni_arrival, out.completion);
+  return out;
+}
+
+}  // namespace irmc

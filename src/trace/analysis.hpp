@@ -1,0 +1,41 @@
+// Latency decomposition from trace events.
+//
+// Splits a traced multicast's critical path into the components the
+// paper's model reasons about: source-side software (send start until
+// the first flit enters the network), network transit (injection until
+// the last destination's NI holds the full message), and
+// destination-side software (NI arrival until host-level delivery at
+// the last destination). Useful for answering "where does scheme X
+// spend its time" without re-deriving the model by hand.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace irmc {
+
+struct LatencyBreakdown {
+  Cycles start = 0;          ///< first send-start
+  Cycles network_entry = 0;  ///< first head flit at the first switch
+  Cycles last_ni_arrival = 0;  ///< last destination tail at its NI
+  Cycles completion = 0;       ///< last host-level delivery
+
+  Cycles SourceSoftware() const { return network_entry - start; }
+  Cycles Network() const { return last_ni_arrival - network_entry; }
+  Cycles DestinationSoftware() const {
+    return completion - last_ni_arrival;
+  }
+  Cycles Total() const { return completion - start; }
+};
+
+/// Computes the breakdown for one traced multicast. Requires the trace
+/// to contain at least one kSendStart, one kHeadArrive, one kNiDeliver
+/// and one kHostDeliver for that multicast (i.e. a completed run).
+/// Network entry is the first head-flit arrival at the source's switch,
+/// so SourceSoftware() covers o_host, DMA, o_ni and injection queueing.
+LatencyBreakdown AnalyzeMulticast(const Tracer& tracer,
+                                  std::int64_t mcast_id);
+
+}  // namespace irmc

@@ -1,0 +1,40 @@
+#include "trace/tracer.hpp"
+
+namespace irmc {
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSendStart: return "send-start";
+    case TraceKind::kInject: return "inject";
+    case TraceKind::kHeadArrive: return "head-arrive";
+    case TraceKind::kRoute: return "route";
+    case TraceKind::kBranch: return "branch";
+    case TraceKind::kNiDeliver: return "ni-deliver";
+    case TraceKind::kHostDeliver: return "host-deliver";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Tracer::Filter(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (pred(e)) out.push_back(e);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::OfMulticast(std::int64_t mcast_id) const {
+  return Filter(
+      [mcast_id](const TraceEvent& e) { return e.mcast_id == mcast_id; });
+}
+
+void Tracer::Dump(std::FILE* out) const {
+  for (const TraceEvent& e : events_) {
+    std::fprintf(out, "%8lld  %-12s mcast=%lld pkt=%d actor=%d detail=%d\n",
+                 static_cast<long long>(e.time), ToString(e.kind),
+                 static_cast<long long>(e.mcast_id), e.pkt_index, e.actor,
+                 e.detail);
+  }
+}
+
+}  // namespace irmc

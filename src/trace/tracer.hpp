@@ -1,0 +1,65 @@
+// Structured event tracing.
+//
+// The fabric and executor emit TraceEvents through an optional Tracer;
+// a null tracer costs one branch. Traces serve debugging ("why did this
+// worm take that port?"), the timeline example, and tests that assert
+// causality (a packet's head arrives before it is routed, every branch
+// follows a route decision, ...).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace irmc {
+
+enum class TraceKind {
+  kSendStart,      ///< host begins a message send (actor = node)
+  kInject,         ///< packet queued on an injection channel (actor = node)
+  kHeadArrive,     ///< worm head reaches a switch input (actor = switch)
+  kRoute,          ///< routing decision made (actor = switch)
+  kBranch,         ///< replica forwarded through a port (actor = switch)
+  kNiDeliver,      ///< tail fully arrived at a node's NI (actor = node)
+  kHostDeliver,    ///< message complete at host level (actor = node)
+};
+
+const char* ToString(TraceKind kind);
+
+struct TraceEvent {
+  Cycles time = 0;
+  TraceKind kind = TraceKind::kInject;
+  std::int64_t mcast_id = -1;
+  int pkt_index = 0;
+  /// Node for host/NI events, switch for fabric events.
+  std::int32_t actor = -1;
+  /// Port for kBranch, destination/child node where meaningful, branch
+  /// count for kRoute; -1 otherwise.
+  std::int32_t detail = -1;
+};
+
+class Tracer {
+ public:
+  void Record(const TraceEvent& event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Events matching a predicate, in recorded (time) order.
+  std::vector<TraceEvent> Filter(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Events of one multicast.
+  std::vector<TraceEvent> OfMulticast(std::int64_t mcast_id) const;
+
+  /// Human-readable dump (one line per event).
+  void Dump(std::FILE* out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace irmc

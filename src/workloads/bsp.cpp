@@ -1,0 +1,30 @@
+#include "workloads/bsp.hpp"
+
+#include "collectives/collectives.hpp"
+#include "common/expect.hpp"
+
+namespace irmc {
+
+BspResult RunBsp(const System& sys, const SimConfig& cfg, SchemeKind scheme,
+                 const BspParams& params) {
+  IRMC_EXPECT(params.iterations >= 1);
+  // One all-reduce on an otherwise idle fabric is deterministic, and BSP
+  // supersteps are serialised by construction (nobody computes ahead of
+  // the release), so iteration time composes additively: measure the
+  // collective once on the live fabric, then sum.
+  SimConfig reduce_cfg = cfg;
+  reduce_cfg.message =
+      MessageShape{params.reduce_flits, 1};
+  const Cycles sync = RunAllReduce(sys, reduce_cfg, scheme, /*compute=*/0);
+  IRMC_ENSURE(sync > 0);
+
+  BspResult out;
+  const Cycles iteration = params.compute_per_iteration + sync;
+  out.total = static_cast<Cycles>(params.iterations) * iteration;
+  out.mean_iteration = static_cast<double>(iteration);
+  out.sync_fraction =
+      static_cast<double>(sync) / static_cast<double>(iteration);
+  return out;
+}
+
+}  // namespace irmc

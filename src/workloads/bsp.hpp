@@ -1,0 +1,35 @@
+// Bulk-synchronous-parallel application workload.
+//
+// The paper's opening motivation is parallel computing on networks of
+// workstations; the canonical NOW application loop is BSP: every node
+// computes, then the ensemble synchronises (an all-reduce carrying a
+// small contribution). Iteration time is compute + collective, so the
+// multicast scheme backing the collective sets the scaling limit as
+// compute shrinks. This workload measures it end to end on the fabric.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+struct BspParams {
+  int iterations = 10;
+  Cycles compute_per_iteration = 5'000;  ///< local work between syncs
+  int reduce_flits = 32;                 ///< per-node contribution size
+};
+
+struct BspResult {
+  Cycles total = 0;           ///< first compute start -> last release
+  double mean_iteration = 0;  ///< total / iterations
+  /// Fraction of the iteration spent synchronising (1 - compute/iter).
+  double sync_fraction = 0;
+};
+
+/// Runs `iterations` BSP supersteps: compute, then an all-reduce whose
+/// downward (broadcast) half uses `scheme`. Returns aggregate timing.
+BspResult RunBsp(const System& sys, const SimConfig& cfg, SchemeKind scheme,
+                 const BspParams& params);
+
+}  // namespace irmc

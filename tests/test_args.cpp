@@ -1,0 +1,80 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace irmc {
+namespace {
+
+Args ParseVec(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args::Parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, CommandAndKeyValues) {
+  const Args args = ParseVec({"single", "--size", "15", "--scheme",
+                              "tree-worm"});
+  EXPECT_EQ(args.command(), "single");
+  EXPECT_EQ(args.GetInt("size", 0), 15);
+  EXPECT_EQ(args.GetString("scheme", ""), "tree-worm");
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args args = ParseVec({"load"});
+  EXPECT_EQ(args.GetInt("degree", 8), 8);
+  EXPECT_DOUBLE_EQ(args.GetDouble("load", 0.25), 0.25);
+  EXPECT_EQ(args.GetString("scheme", "fallback"), "fallback");
+  EXPECT_FALSE(args.GetFlag("dot"));
+}
+
+TEST(Args, FlagsHaveNoValue) {
+  const Args args = ParseVec({"topology", "--dot", "--seed", "9"});
+  EXPECT_TRUE(args.GetFlag("dot"));
+  EXPECT_EQ(args.GetInt("seed", 0), 9);
+}
+
+TEST(Args, FlagBeforeAnotherOption) {
+  const Args args = ParseVec({"topology", "--dot", "--save", "out.txt"});
+  EXPECT_TRUE(args.GetFlag("dot"));
+  EXPECT_EQ(args.GetString("save", ""), "out.txt");
+}
+
+TEST(Args, NoCommandIsEmpty) {
+  const Args args = ParseVec({"--size", "3"});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_EQ(args.GetInt("size", 0), 3);
+}
+
+TEST(Args, MalformedNumbersFallBack) {
+  const Args args = ParseVec({"single", "--size", "abc", "--load", "x.y"});
+  EXPECT_EQ(args.GetInt("size", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("load", 0.5), 0.5);
+}
+
+TEST(Args, NegativeAndFloatValues) {
+  const Args args = ParseVec({"x", "--delta", "-3", "--ratio", "0.5"});
+  EXPECT_EQ(args.GetInt("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(args.GetDouble("ratio", 0.0), 0.5);
+}
+
+TEST(Args, UnconsumedKeysDetected) {
+  const Args args = ParseVec({"single", "--size", "3", "--typo", "1"});
+  (void)args.GetInt("size", 0);
+  const auto leftover = args.UnconsumedKeys();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Args, StrayPositionalFlagged) {
+  const Args args = ParseVec({"single", "oops"});
+  EXPECT_FALSE(args.UnconsumedKeys().empty());
+}
+
+TEST(Args, HasChecksPresence) {
+  const Args args = ParseVec({"x", "--a", "1"});
+  EXPECT_TRUE(args.Has("a"));
+  EXPECT_FALSE(args.Has("b"));
+}
+
+}  // namespace
+}  // namespace irmc

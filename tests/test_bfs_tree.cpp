@@ -1,0 +1,109 @@
+#include "topology/bfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.hpp"
+
+namespace irmc {
+namespace {
+
+Graph Line3() {
+  // 0 - 1 - 2
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  return g;
+}
+
+TEST(BfsTree, RootIsSwitchZero) {
+  const Graph g = Line3();
+  const BfsTree t(g);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.Level(0), 0);
+  EXPECT_EQ(t.Parent(0), kInvalidSwitch);
+  EXPECT_EQ(t.ParentPort(0), kInvalidPort);
+}
+
+TEST(BfsTree, LevelsAreHopDistances) {
+  const Graph g = Line3();
+  const BfsTree t(g);
+  EXPECT_EQ(t.Level(1), 1);
+  EXPECT_EQ(t.Level(2), 2);
+  EXPECT_EQ(t.depth(), 2);
+}
+
+TEST(BfsTree, ParentsOneLevelUp) {
+  const Graph g = Line3();
+  const BfsTree t(g);
+  EXPECT_EQ(t.Parent(1), 0);
+  EXPECT_EQ(t.Parent(2), 1);
+  EXPECT_EQ(t.Children(0), (std::vector<SwitchId>{1}));
+  EXPECT_EQ(t.Children(1), (std::vector<SwitchId>{2}));
+}
+
+TEST(BfsTree, LowestIdParentOnTies) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Switch 3 can parent to 1 or 2; must
+  // pick 1.
+  Graph g(4, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(0, 1, 2, 0);
+  g.AddLink(1, 1, 3, 0);
+  g.AddLink(2, 1, 3, 1);
+  const BfsTree t(g);
+  EXPECT_EQ(t.Parent(3), 1);
+  EXPECT_EQ(t.Level(3), 2);
+}
+
+TEST(BfsTree, ParallelLinksPickLowestPort) {
+  Graph g(2, 4);
+  g.AddLink(0, 2, 1, 3);
+  g.AddLink(0, 0, 1, 1);
+  const BfsTree t(g);
+  EXPECT_EQ(t.Parent(1), 0);
+  EXPECT_EQ(t.ParentPort(1), 1);  // lowest port of switch 1 toward 0
+}
+
+class BfsTreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsTreeSweep, TreePropertiesOnRandomTopologies) {
+  TopologySpec spec;
+  spec.num_switches = 16;
+  spec.num_hosts = 32;
+  const Graph g = GenerateTopology(spec, GetParam());
+  const BfsTree t(g);
+
+  int with_parent = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s == t.root()) {
+      EXPECT_EQ(t.Level(s), 0);
+      continue;
+    }
+    ++with_parent;
+    const SwitchId p = t.Parent(s);
+    ASSERT_NE(p, kInvalidSwitch);
+    EXPECT_EQ(t.Level(s), t.Level(p) + 1);
+    // Parent port really leads to the parent.
+    EXPECT_EQ(g.port(s, t.ParentPort(s)).peer_switch, p);
+    // Child registered at the parent.
+    const auto& kids = t.Children(p);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), s), kids.end());
+  }
+  EXPECT_EQ(with_parent, g.num_switches() - 1);
+
+  // Levels are true BFS distances: every switch's best neighbour level
+  // is exactly one less.
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s == t.root()) continue;
+    int best = 1 << 20;
+    for (PortId p = 0; p < g.ports_per_switch(); ++p)
+      if (g.port(s, p).kind == PortKind::kSwitch)
+        best = std::min(best, t.Level(g.port(s, p).peer_switch));
+    EXPECT_EQ(t.Level(s), best + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsTreeSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace irmc

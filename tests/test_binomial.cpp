@@ -1,0 +1,171 @@
+#include "mcast/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "mcast/kbinomial.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+/// Collects every node reachable through the plan's children lists and
+/// checks tree-ness (each node has at most one parent, no cycles).
+std::set<NodeId> CollectTree(const McastPlan& plan) {
+  std::set<NodeId> seen{plan.root};
+  std::queue<NodeId> frontier;
+  frontier.push(plan.root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId c : plan.children[static_cast<std::size_t>(u)]) {
+      EXPECT_TRUE(seen.insert(c).second) << "node adopted twice: " << c;
+      frontier.push(c);
+    }
+  }
+  return seen;
+}
+
+/// Rounds a binomial-style plan needs: each round, every holder sends to
+/// one child (in list order).
+int StepsToComplete(const McastPlan& plan) {
+  std::map<NodeId, int> arrive;  // round at which node holds the message
+  arrive[plan.root] = 0;
+  // Simulate round-robin: child i of node u (0-based) arrives at
+  // arrive[u] + i + 1 (one send per round per holder).
+  std::queue<NodeId> order;
+  order.push(plan.root);
+  int last = 0;
+  while (!order.empty()) {
+    const NodeId u = order.front();
+    order.pop();
+    int i = 0;
+    for (NodeId c : plan.children[static_cast<std::size_t>(u)]) {
+      arrive[c] = arrive[u] + i + 1;
+      last = std::max(last, arrive[c]);
+      order.push(c);
+      ++i;
+    }
+  }
+  return last;
+}
+
+class BinomialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinomialSweep, CoversAllInLogSteps) {
+  const auto sys = System::Build({}, 7);
+  UnicastBinomialScheme scheme;
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n <= GetParam(); ++n) dests.push_back(n);
+  const McastPlan plan = scheme.Plan(*sys, 0, dests, {}, {});
+
+  const auto covered = CollectTree(plan);
+  EXPECT_EQ(covered.size(), dests.size() + 1);
+  for (NodeId d : dests) EXPECT_TRUE(covered.count(d));
+
+  // ceil(log2(n+1)) steps — the best achievable with unicast (paper
+  // Section 3.1).
+  int expect_steps = 0;
+  while ((1 << expect_steps) < GetParam() + 1) ++expect_steps;
+  EXPECT_EQ(StepsToComplete(plan), expect_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinomialSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 31));
+
+TEST(Binomial, PaperFigure2SevenDestinations) {
+  // Figure 2 of the paper: multicast to 7 destinations completes in 3
+  // steps; the root sends 3 times.
+  const auto sys = System::Build({}, 3);
+  UnicastBinomialScheme scheme;
+  std::vector<NodeId> dests{1, 2, 3, 4, 5, 6, 7};
+  const McastPlan plan = scheme.Plan(*sys, 0, dests, {}, {});
+  EXPECT_EQ(StepsToComplete(plan), 3);
+  EXPECT_EQ(plan.children[0].size(), 3u);
+}
+
+TEST(Binomial, RootIsNeverADestination) {
+  const auto sys = System::Build({}, 11);
+  UnicastBinomialScheme scheme;
+  const McastPlan plan = scheme.Plan(*sys, 5, {1, 2, 3}, {}, {});
+  EXPECT_EQ(plan.root, 5);
+  const auto covered = CollectTree(plan);
+  EXPECT_TRUE(covered.count(5));
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(BuildCappedBinomialShape, UncappedDoubles) {
+  const auto children = BuildCappedBinomialShape(7, 100);
+  // After r rounds, 2^r nodes hold the message.
+  // Root children: 3 (one per round).
+  EXPECT_EQ(children[0].size(), 3u);
+  EXPECT_EQ(children[1].size(), 2u);  // adopted in round 1, sends twice
+}
+
+TEST(BuildCappedBinomialShape, CapOneIsAChain) {
+  const auto children = BuildCappedBinomialShape(5, 1);
+  for (int u = 0; u <= 5; ++u) {
+    const auto& kids = children[static_cast<std::size_t>(u)];
+    if (u < 5)
+      EXPECT_EQ(kids, (std::vector<int>{u + 1}));
+    else
+      EXPECT_TRUE(kids.empty());
+  }
+}
+
+TEST(BuildCappedBinomialShape, CapRespected) {
+  for (int k = 1; k <= 4; ++k) {
+    const auto children = BuildCappedBinomialShape(20, k);
+    int total = 0;
+    for (const auto& kids : children) {
+      EXPECT_LE(static_cast<int>(kids.size()), k);
+      total += static_cast<int>(kids.size());
+    }
+    EXPECT_EQ(total, 20);  // everyone adopted exactly once
+  }
+}
+
+TEST(BuildCappedBinomialShape, ZeroReceivers) {
+  const auto children = BuildCappedBinomialShape(0, 3);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_TRUE(children[0].empty());
+}
+
+TEST(OrderDestsBySwitch, GroupsBySwitchAndDistance) {
+  const auto sys = System::Build({}, 13);
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n < 20; ++n) dests.push_back(n);
+  const auto ordered = OrderDestsBySwitch(*sys, 0, dests);
+  ASSERT_EQ(ordered.size(), dests.size());
+  // Same multiset.
+  auto sorted = ordered;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, dests);
+  // Nodes of one switch are contiguous.
+  std::set<SwitchId> closed;
+  SwitchId current = kInvalidSwitch;
+  for (NodeId n : ordered) {
+    const SwitchId s = sys->graph.SwitchOf(n);
+    if (s != current) {
+      EXPECT_TRUE(closed.insert(s).second) << "switch revisited: " << s;
+      current = s;
+    }
+  }
+  // Distances never decrease along the switch order.
+  const SwitchId home = sys->graph.SwitchOf(0);
+  int prev = -1;
+  current = kInvalidSwitch;
+  for (NodeId n : ordered) {
+    const SwitchId s = sys->graph.SwitchOf(n);
+    if (s == current) continue;
+    current = s;
+    const int d = sys->routing.Distance(home, s);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,74 @@
+#include "workloads/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+class BspAllSchemes : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  void SetUp() override { sys_ = System::Build({}, 37); }
+  std::unique_ptr<System> sys_;
+  SimConfig cfg_;
+};
+
+TEST_P(BspAllSchemes, IterationComposition) {
+  BspParams params;
+  const BspResult r = RunBsp(*sys_, cfg_, GetParam(), params);
+  EXPECT_GT(r.total, 0);
+  EXPECT_DOUBLE_EQ(r.mean_iteration,
+                   static_cast<double>(r.total) / params.iterations);
+  EXPECT_GT(r.sync_fraction, 0.0);
+  EXPECT_LT(r.sync_fraction, 1.0);
+  // Iteration = compute + sync exactly.
+  EXPECT_GT(r.mean_iteration, params.compute_per_iteration);
+}
+
+TEST_P(BspAllSchemes, MoreComputeLowersSyncFraction) {
+  BspParams light;
+  light.compute_per_iteration = 1'000;
+  BspParams heavy;
+  heavy.compute_per_iteration = 100'000;
+  const BspResult a = RunBsp(*sys_, cfg_, GetParam(), light);
+  const BspResult b = RunBsp(*sys_, cfg_, GetParam(), heavy);
+  EXPECT_GT(a.sync_fraction, b.sync_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BspAllSchemes,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+TEST(Bsp, HardwareMulticastRaisesScalingLimit) {
+  // As compute shrinks, the collective bounds speedup; the tree worm's
+  // faster release keeps the sync fraction lower than the software
+  // baseline's at every compute grain.
+  const auto sys = System::Build({}, 37);
+  SimConfig cfg;
+  for (Cycles compute : {1'000, 10'000, 50'000}) {
+    BspParams params;
+    params.compute_per_iteration = compute;
+    const BspResult hw = RunBsp(*sys, cfg, SchemeKind::kTreeWorm, params);
+    const BspResult sw =
+        RunBsp(*sys, cfg, SchemeKind::kUnicastBinomial, params);
+    EXPECT_LT(hw.sync_fraction, sw.sync_fraction) << "compute " << compute;
+    EXPECT_LT(hw.total, sw.total);
+  }
+}
+
+TEST(Bsp, BiggerContributionsCostMore) {
+  const auto sys = System::Build({}, 37);
+  SimConfig cfg;
+  BspParams small;
+  small.reduce_flits = 8;
+  BspParams large;
+  large.reduce_flits = 512;
+  EXPECT_LT(RunBsp(*sys, cfg, SchemeKind::kTreeWorm, small).total,
+            RunBsp(*sys, cfg, SchemeKind::kTreeWorm, large).total);
+}
+
+}  // namespace
+}  // namespace irmc

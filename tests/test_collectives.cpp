@@ -1,0 +1,62 @@
+#include "collectives/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+class CollectivesAllSchemes : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  void SetUp() override { sys_ = System::Build({}, 31); }
+  std::unique_ptr<System> sys_;
+  SimConfig cfg_;
+};
+
+TEST_P(CollectivesAllSchemes, BroadcastCompletes) {
+  const Cycles t = RunBroadcast(*sys_, cfg_, GetParam(), 0);
+  EXPECT_GT(t, 0);
+}
+
+TEST_P(CollectivesAllSchemes, BarrierCompletesAndCostsMoreThanBroadcast) {
+  const Cycles bcast = RunBroadcast(*sys_, cfg_, GetParam(), 0);
+  const Cycles barrier = RunBarrier(*sys_, cfg_, GetParam());
+  EXPECT_GT(barrier, bcast);  // gather phase comes on top
+}
+
+TEST_P(CollectivesAllSchemes, AllReduceComputeAddsTime) {
+  const Cycles fast = RunAllReduce(*sys_, cfg_, GetParam(), 0);
+  const Cycles slow = RunAllReduce(*sys_, cfg_, GetParam(), 500);
+  EXPECT_GT(slow, fast);
+  EXPECT_EQ(fast, RunBarrier(*sys_, cfg_, GetParam()));  // zero compute
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CollectivesAllSchemes,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+TEST(Collectives, HardwareMulticastAcceleratesBarrier) {
+  // The paper's motivation: collectives built on better multicast get
+  // faster. The release phase dominated by multicast must favour the
+  // tree worm.
+  const auto sys = System::Build({}, 31);
+  SimConfig cfg;
+  const Cycles hw = RunBarrier(*sys, cfg, SchemeKind::kTreeWorm);
+  const Cycles sw = RunBarrier(*sys, cfg, SchemeKind::kUnicastBinomial);
+  EXPECT_LT(hw, sw);
+}
+
+TEST(Collectives, BroadcastFromAnyRoot) {
+  const auto sys = System::Build({}, 31);
+  SimConfig cfg;
+  for (NodeId root : {0, 7, 31}) {
+    const Cycles t = RunBroadcast(*sys, cfg, SchemeKind::kTreeWorm, root);
+    EXPECT_GT(t, 0);
+  }
+}
+
+}  // namespace
+}  // namespace irmc

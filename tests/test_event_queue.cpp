@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace irmc {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  while (!q.Empty()) q.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1, [&] {
+    ++fired;
+    q.ScheduleAt(2, [&] { ++fired; });
+  });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 2);
+}
+
+TEST(EventQueue, SameTimeSelfScheduleRunsThisSweep) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5, [&] { q.ScheduleAt(5, [&] { ++fired; }); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ExecutedCount) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.ScheduleAt(i, [] {});
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(Engine, RunToQuiescenceReturnsFinalTime) {
+  Engine e;
+  e.ScheduleAfter(100, [] {});
+  EXPECT_EQ(e.RunToQuiescence(), 100);
+  EXPECT_TRUE(e.Idle());
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAfter(10, [&] { ++fired; });
+  e.ScheduleAfter(20, [&] { ++fired; });
+  EXPECT_FALSE(e.RunUntil(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.RunUntil(25));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilInclusiveOfDeadline) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAfter(15, [&] { ++fired; });
+  EXPECT_TRUE(e.RunUntil(15));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, ScheduleAfterZeroRunsAtSameTime) {
+  Engine e;
+  Cycles seen = -1;
+  e.ScheduleAfter(10, [&] { e.ScheduleAfter(0, [&] { seen = e.Now(); }); });
+  e.RunToQuiescence();
+  EXPECT_EQ(seen, 10);
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,148 @@
+#include "topology/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+TEST(Fault, AllLinksListsEachOnce) {
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, 5);
+  const auto links = AllLinks(g);
+  EXPECT_EQ(static_cast<int>(links.size()), g.NumLinks());
+  for (const LinkRef& l : links)
+    EXPECT_EQ(g.port(l.sw, l.port).kind, PortKind::kSwitch);
+}
+
+TEST(Fault, SpanningTreeLinksAreAllCritical) {
+  TopologySpec spec;
+  spec.link_utilization = 0.0;  // tree only
+  const Graph g = GenerateTopology(spec, 5);
+  EXPECT_EQ(CriticalLinks(g).size(),
+            static_cast<std::size_t>(g.num_switches() - 1));
+}
+
+TEST(Fault, RingHasNoCriticalLinks) {
+  Graph ring(4, 4);
+  ring.AddLink(0, 0, 1, 0);
+  ring.AddLink(1, 1, 2, 0);
+  ring.AddLink(2, 1, 3, 0);
+  ring.AddLink(3, 1, 0, 1);
+  EXPECT_TRUE(CriticalLinks(ring).empty());
+  // And every single removal keeps the ring connected.
+  for (const LinkRef& l : AllLinks(ring))
+    EXPECT_TRUE(WithoutLink(ring, l.sw, l.port).has_value());
+}
+
+TEST(Fault, BridgeRemovalReturnsNullopt) {
+  Graph line(3, 4);
+  line.AddLink(0, 0, 1, 0);
+  line.AddLink(1, 1, 2, 0);
+  EXPECT_FALSE(WithoutLink(line, 0, 0).has_value());
+  EXPECT_FALSE(WithoutLink(line, 1, 1).has_value());
+}
+
+TEST(Fault, InvalidPortsRejected) {
+  Graph g(2, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AttachHost(0, 1);
+  EXPECT_FALSE(WithoutLink(g, 0, 1).has_value());  // host port
+  EXPECT_FALSE(WithoutLink(g, 0, 3).has_value());  // free port
+  EXPECT_FALSE(WithoutLink(g, 5, 0).has_value());  // bad switch
+}
+
+TEST(Fault, RemovalPreservesHostsAndOtherLinks) {
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, 9);
+  const auto critical = CriticalLinks(g);
+  // Find a non-critical link.
+  LinkRef victim{kInvalidSwitch, kInvalidPort};
+  for (const LinkRef& l : AllLinks(g)) {
+    bool is_critical = false;
+    for (const LinkRef& c : critical)
+      if (c.sw == l.sw && c.port == l.port) is_critical = true;
+    if (!is_critical) {
+      victim = l;
+      break;
+    }
+  }
+  ASSERT_NE(victim.sw, kInvalidSwitch) << "topology has no redundancy";
+  const auto degraded = WithoutLink(g, victim.sw, victim.port);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(degraded->NumLinks(), g.NumLinks() - 1);
+  EXPECT_EQ(degraded->num_hosts(), g.num_hosts());
+  for (NodeId n = 0; n < g.num_hosts(); ++n) {
+    EXPECT_EQ(degraded->host(n).sw, g.host(n).sw);
+    EXPECT_EQ(degraded->host(n).port, g.host(n).port);
+  }
+  EXPECT_EQ(degraded->port(victim.sw, victim.port).kind, PortKind::kFree);
+}
+
+class ReconfigSweep : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ReconfigSweep, MulticastSurvivesEveryNonCriticalFault) {
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, 13);
+  SimConfig cfg;
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n < 32; n += 3) dests.push_back(n);
+
+  int survivable = 0;
+  for (const LinkRef& l : AllLinks(g)) {
+    auto degraded = WithoutLink(g, l.sw, l.port);
+    if (!degraded.has_value()) continue;
+    ++survivable;
+    // Autonet reconfiguration: rebuild the whole routing state.
+    System sys{std::move(*degraded)};
+    const auto scheme = MakeScheme(GetParam(), cfg.host);
+    const auto r = PlayOnce(
+        sys, cfg, scheme->Plan(sys, 0, dests, cfg.message, cfg.headers));
+    EXPECT_EQ(r.deliveries.size(), dests.size())
+        << "after losing link at switch " << l.sw << " port " << l.port;
+  }
+  EXPECT_GT(survivable, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ReconfigSweep,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+TEST(Fault, DegradedNetworkIsSlowerOrEqual) {
+  // Removing capacity should not help a single multicast materially. (A
+  // removal can reshape the BFS tree and occasionally shorten a route,
+  // so a 10% tolerance is allowed; wholesale speedups would indicate a
+  // routing bug.)
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, 21);
+  SimConfig cfg;
+  std::vector<NodeId> dests;
+  for (NodeId n = 1; n <= 15; ++n) dests.push_back(n);
+  System intact{Graph(g)};
+  const auto scheme = MakeScheme(SchemeKind::kTreeWorm, cfg.host);
+  const auto before = PlayOnce(
+      intact, cfg,
+      scheme->Plan(intact, 0, dests, cfg.message, cfg.headers));
+
+  int checked = 0;
+  for (const LinkRef& l : AllLinks(g)) {
+    auto degraded_graph = WithoutLink(g, l.sw, l.port);
+    if (!degraded_graph.has_value()) continue;
+    System degraded{std::move(*degraded_graph)};
+    const auto after = PlayOnce(
+        degraded, cfg,
+        scheme->Plan(degraded, 0, dests, cfg.message, cfg.headers));
+    EXPECT_GE(after.Latency(), before.Latency() * 9 / 10)
+        << "link sw" << l.sw << " port " << l.port;
+    if (++checked == 5) break;  // a sample is enough
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace irmc

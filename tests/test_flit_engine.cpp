@@ -1,0 +1,213 @@
+#include "network/flit_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "network/fabric.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+PacketPtr Unicast(NodeId src, NodeId dst, int data_flits = 64) {
+  auto pkt = std::make_shared<Packet>();
+  pkt->mcast_id = 1;
+  pkt->src = src;
+  pkt->kind = HeaderKind::kUnicast;
+  pkt->uni_dest = dst;
+  pkt->data_flits = data_flits;
+  pkt->header_flits = 2;
+  return pkt;
+}
+
+/// Runs the same injections through the packet-granular VCT fabric
+/// (deterministic routing) and returns node -> (head, tail).
+std::map<NodeId, std::pair<Cycles, Cycles>> RunVct(
+    const System& sys, const std::vector<std::pair<NodeId, PacketPtr>>& txs) {
+  Engine engine;
+  NetParams params;
+  params.adaptive = false;
+  std::map<NodeId, std::pair<Cycles, Cycles>> out;
+  Fabric fabric(engine, sys, params,
+                [&](NodeId n, const PacketPtr&, Cycles h, Cycles t) {
+                  out[n] = {h, t};
+                });
+  for (const auto& [n, p] : txs)
+    fabric.InjectFromNi(n, std::make_shared<Packet>(*p), 0);
+  engine.RunToQuiescence();
+  return out;
+}
+
+std::map<NodeId, std::pair<Cycles, Cycles>> RunFlit(
+    const System& sys, const std::vector<std::pair<NodeId, PacketPtr>>& txs,
+    int buffer_flits = 128) {
+  FlitEngineParams params;
+  params.buffer_flits = buffer_flits;
+  FlitEngine engine(sys, params);
+  for (const auto& [n, p] : txs)
+    engine.Inject(n, std::make_shared<Packet>(*p), 0);
+  std::map<NodeId, std::pair<Cycles, Cycles>> out;
+  for (const auto& d : engine.Run())
+    out[d.node] = {d.head_arrive, d.tail_arrive};
+  return out;
+}
+
+class EngineXCheck : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    TopologySpec spec;
+    spec.num_switches = 8;
+    spec.num_hosts = 32;
+    sys_ = System::Build(spec, GetParam());
+  }
+  std::unique_ptr<System> sys_;
+};
+
+TEST_P(EngineXCheck, UnicastZeroLoadAgreesExactly) {
+  for (NodeId dst : {1, 7, 19, 31}) {
+    std::vector<std::pair<NodeId, PacketPtr>> txs{{0, Unicast(0, dst)}};
+    const auto vct = RunVct(*sys_, txs);
+    const auto flit = RunFlit(*sys_, txs);
+    ASSERT_EQ(vct.size(), 1u);
+    ASSERT_EQ(flit.size(), 1u);
+    EXPECT_EQ(vct.at(dst), flit.at(dst)) << "dst " << dst;
+  }
+}
+
+TEST_P(EngineXCheck, TreeWormZeroLoadAgreesExactly) {
+  std::vector<NodeId> dests{3, 9, 14, 22, 27, 31};
+  auto pkt = std::make_shared<Packet>();
+  pkt->mcast_id = 1;
+  pkt->src = 0;
+  pkt->kind = HeaderKind::kTreeWorm;
+  pkt->tree_dests = NodeSet::FromVector(32, dests);
+  pkt->data_flits = 64;
+  pkt->header_flits = 6;
+  std::vector<std::pair<NodeId, PacketPtr>> txs{{0, pkt}};
+  const auto vct = RunVct(*sys_, txs);
+  const auto flit = RunFlit(*sys_, txs);
+  ASSERT_EQ(vct.size(), dests.size());
+  ASSERT_EQ(flit.size(), dests.size());
+  for (NodeId d : dests) EXPECT_EQ(vct.at(d), flit.at(d)) << "dest " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineXCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(FlitEngine, LineLatencyExact) {
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  g.AttachHost(0, 3);
+  g.AttachHost(1, 3);
+  g.AttachHost(2, 3);
+  System sys{std::move(g)};
+  FlitEngine engine(sys, {});
+  engine.Inject(0, Unicast(0, 2, 128), 0);
+  const auto deliveries = engine.Run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].head_arrive, 10);
+  EXPECT_EQ(deliveries[0].tail_arrive, 10 + 130 - 1);
+}
+
+TEST(FlitEngine, SmallBuffersStretchWormAcrossLinks) {
+  // With a 4-flit buffer the worm cannot be absorbed when blocked; the
+  // uncontended latency must still be identical (pipelining unaffected),
+  // but under contention the blocked worm stalls upstream links.
+  Graph g(3, 6);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  g.AttachHost(0, 4);  // node 0
+  g.AttachHost(0, 5);  // node 1
+  g.AttachHost(2, 4);  // node 2
+  g.AttachHost(2, 5);  // node 3
+  System sys{std::move(g)};
+
+  {  // uncontended: buffer size irrelevant
+    FlitEngineParams params;
+    params.buffer_flits = 4;
+    FlitEngine engine(sys, params);
+    engine.Inject(0, Unicast(0, 2, 128), 0);
+    const auto d = engine.Run();
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].head_arrive, 10);
+  }
+  {  // contended: two worms to the same switch serialize
+    FlitEngineParams params;
+    params.buffer_flits = 4;
+    FlitEngine engine(sys, params);
+    engine.Inject(0, Unicast(0, 2, 128), 0);
+    engine.Inject(1, Unicast(1, 3, 128), 0);
+    const auto d = engine.Run(100000);
+    ASSERT_EQ(d.size(), 2u);
+    const Cycles spread =
+        std::max(d[0].tail_arrive, d[1].tail_arrive) -
+        std::min(d[0].tail_arrive, d[1].tail_arrive);
+    EXPECT_GE(spread, 100);
+  }
+}
+
+TEST(FlitEngine, MultipleInjectionsSameNodeSerialize) {
+  Graph g(2, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AttachHost(0, 3);
+  g.AttachHost(1, 3);
+  System sys{std::move(g)};
+  FlitEngine engine(sys, {});
+  engine.Inject(0, Unicast(0, 1, 50), 0);
+  engine.Inject(0, Unicast(0, 1, 50), 0);
+  const auto d = engine.Run();
+  ASSERT_EQ(d.size(), 2u);
+  // 52 wire flits plus the route+xbar offset before the input-port
+  // buffer frees for the second worm — identical to the VCT engine.
+  EXPECT_EQ(d[1].head_arrive - d[0].head_arrive, 55);
+}
+
+
+class ContendedXCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContendedXCheck, EnginesAgreeExactlyUnderContention) {
+  // With packet-sized buffers and deterministic routing, the two engines
+  // implement the same physics: even contended, arbitrated traffic must
+  // produce the identical multiset of (node, head, tail) deliveries.
+  TopologySpec spec;
+  spec.num_switches = 8;
+  spec.num_hosts = 32;
+  const auto sys = System::Build(spec, GetParam());
+  std::vector<std::tuple<NodeId, NodeId, Cycles>> txs;
+  Rng rng(GetParam() * 1000 + 5);
+  for (int i = 0; i < 16; ++i) {
+    auto d = rng.SampleWithoutReplacement(32, 2);
+    txs.emplace_back(static_cast<NodeId>(d[0]), static_cast<NodeId>(d[1]),
+                     static_cast<Cycles>(rng.NextBelow(300)));
+  }
+  std::multiset<std::tuple<NodeId, Cycles, Cycles>> vct_set, flit_set;
+  {
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
+    Fabric fabric(engine, *sys, params,
+                  [&](NodeId n, const PacketPtr&, Cycles h, Cycles t) {
+                    vct_set.insert({n, h, t});
+                  });
+    for (const auto& [s, t, r] : txs)
+      fabric.InjectFromNi(s, Unicast(s, t), r);
+    engine.RunToQuiescence();
+  }
+  {
+    FlitEngine engine(*sys, {});
+    for (const auto& [s, t, r] : txs) engine.Inject(s, Unicast(s, t), r);
+    for (const auto& d : engine.Run(1'000'000))
+      flit_set.insert({d.node, d.head_arrive, d.tail_arrive});
+  }
+  EXPECT_EQ(vct_set, flit_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContendedXCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace irmc

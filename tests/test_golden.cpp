@@ -1,0 +1,89 @@
+// Golden regression values.
+//
+// The simulator is deterministic, so key latencies at the documented
+// calibration are exact constants. These tests pin them down: a change
+// to any timing rule (wire pipeline, overhead placement, DMA model,
+// planner behaviour) that moves a headline number fails here first and
+// must be a conscious decision. The values correspond to the quickstart
+// example and DESIGN.md Section 2's defaults (seed 42, 15-way multicast
+// from node 0 to nodes 2,4,...,30).
+#include <gtest/gtest.h>
+
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+class Golden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = System::Build({}, 42);
+    for (NodeId n = 1; n <= 15; ++n) dests_.push_back(n * 2);
+  }
+  Cycles Latency(SchemeKind kind) {
+    const auto scheme = MakeScheme(kind, cfg_.host);
+    return PlayOnce(*sys_, cfg_,
+                    scheme->Plan(*sys_, 0, dests_, cfg_.message,
+                                 cfg_.headers))
+        .Latency();
+  }
+  std::unique_ptr<System> sys_;
+  SimConfig cfg_;
+  std::vector<NodeId> dests_;
+};
+
+TEST_F(Golden, QuickstartLatencies) {
+  EXPECT_EQ(Latency(SchemeKind::kUnicastBinomial), 8227);
+  EXPECT_EQ(Latency(SchemeKind::kNiKBinomial), 5160);
+  EXPECT_EQ(Latency(SchemeKind::kTreeWorm), 2062);
+  EXPECT_EQ(Latency(SchemeKind::kPathWorm), 4112);
+}
+
+TEST_F(Golden, TopologyShape) {
+  EXPECT_EQ(sys_->graph.NumLinks(), 14);
+  EXPECT_EQ(sys_->tree.depth(), 2);
+  EXPECT_EQ(sys_->tree.root(), 0);
+}
+
+TEST_F(Golden, RRatioFourLatencies) {
+  cfg_.host.SetRatio(4.0);
+  // Cheap NI: the NI scheme gains the most, the tree worm saves exactly
+  // its two o_ni payments.
+  EXPECT_EQ(Latency(SchemeKind::kTreeWorm), 1320);
+  const Cycles ni = Latency(SchemeKind::kNiKBinomial);
+  const Cycles path = Latency(SchemeKind::kPathWorm);
+  EXPECT_LT(ni, path);  // the paper's headline crossover
+  EXPECT_EQ(ni, 2541);
+  EXPECT_EQ(path, 2626);
+}
+
+TEST_F(Golden, UnicastLatencyFormula) {
+  // One destination two switch hops away: latency must equal the
+  // closed-form in docs/MODEL.md. Verified by construction here so the
+  // document cannot rot silently.
+  const auto scheme = MakeScheme(SchemeKind::kUnicastBinomial, cfg_.host);
+  const SwitchId home = sys_->graph.SwitchOf(0);
+  NodeId two_hops = kInvalidNode;
+  for (NodeId n = 1; n < sys_->num_nodes() && two_hops == kInvalidNode; ++n)
+    if (sys_->routing.Distance(home, sys_->graph.SwitchOf(n)) == 2)
+      two_hops = n;
+  ASSERT_NE(two_hops, kInvalidNode);
+  const Cycles measured =
+      PlayOnce(*sys_, cfg_,
+               scheme->Plan(*sys_, 0, {two_hops}, cfg_.message, cfg_.headers))
+          .Latency();
+  // o_h + o_n(send) -> injection; head reaches the destination NI after
+  // 3 switches x 3 cycles + 1; the receive o_n (500) starts at the head
+  // and outlasts the 130-flit tail, then DMA (ceil(128/2.66) = 49) and
+  // o_h.
+  const Cycles expect = 500 + 500    // send software (DMA hidden)
+                        + 3 * 3 + 1  // head pipeline, 3 switches
+                        + 500        // receive NI overhead (covers tail)
+                        + 49 + 500;  // DMA + host receive
+  EXPECT_EQ(measured, expect);
+}
+
+}  // namespace
+}  // namespace irmc

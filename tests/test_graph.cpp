@@ -1,0 +1,83 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace irmc {
+namespace {
+
+TEST(Graph, StartsAllFree) {
+  Graph g(4, 8);
+  EXPECT_EQ(g.num_switches(), 4);
+  EXPECT_EQ(g.ports_per_switch(), 8);
+  EXPECT_EQ(g.num_hosts(), 0);
+  EXPECT_EQ(g.NumLinks(), 0);
+  for (SwitchId s = 0; s < 4; ++s) EXPECT_EQ(g.FreePortCount(s), 8);
+}
+
+TEST(Graph, AttachHostAssignsDenseIds) {
+  Graph g(2, 4);
+  EXPECT_EQ(g.AttachHost(0, 0), 0);
+  EXPECT_EQ(g.AttachHost(1, 2), 1);
+  EXPECT_EQ(g.AttachHost(0, 3), 2);
+  EXPECT_EQ(g.num_hosts(), 3);
+  EXPECT_EQ(g.SwitchOf(0), 0);
+  EXPECT_EQ(g.SwitchOf(1), 1);
+  EXPECT_EQ(g.host(2).port, 3);
+  EXPECT_EQ(g.HostsAt(0), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(g.port(1, 2).kind, PortKind::kHost);
+  EXPECT_EQ(g.port(1, 2).host, 1);
+}
+
+TEST(Graph, AddLinkWiresBothEnds) {
+  Graph g(2, 4);
+  g.AddLink(0, 1, 1, 3);
+  EXPECT_EQ(g.NumLinks(), 1);
+  const Port& a = g.port(0, 1);
+  EXPECT_EQ(a.kind, PortKind::kSwitch);
+  EXPECT_EQ(a.peer_switch, 1);
+  EXPECT_EQ(a.peer_port, 3);
+  const Port& b = g.port(1, 3);
+  EXPECT_EQ(b.peer_switch, 0);
+  EXPECT_EQ(b.peer_port, 1);
+}
+
+TEST(Graph, ParallelLinksAllowed) {
+  Graph g(2, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(0, 1, 1, 1);
+  EXPECT_EQ(g.NumLinks(), 2);
+}
+
+TEST(Graph, FirstFreePortSkipsUsed) {
+  Graph g(1, 3);
+  EXPECT_EQ(g.FirstFreePort(0), 0);
+  g.AttachHost(0, 0);
+  EXPECT_EQ(g.FirstFreePort(0), 1);
+  g.AttachHost(0, 1);
+  g.AttachHost(0, 2);
+  EXPECT_EQ(g.FirstFreePort(0), kInvalidPort);
+}
+
+TEST(Graph, SwitchPortsEnumeratesBothDirections) {
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  const auto ports = g.SwitchPorts();
+  EXPECT_EQ(ports.size(), 4u);  // two links, two ends each
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  EXPECT_FALSE(g.Connected());
+  g.AddLink(1, 1, 2, 0);
+  EXPECT_TRUE(g.Connected());
+}
+
+TEST(Graph, SingleSwitchIsConnected) {
+  Graph g(1, 4);
+  EXPECT_TRUE(g.Connected());
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,86 @@
+#include "collectives/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/single_runner.hpp"
+
+namespace irmc {
+namespace {
+
+class GroupsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = System::Build({}, 33);
+    mgr_ = std::make_unique<GroupManager>(*sys_, MessageShape{},
+                                          HeaderSizing{}, HostParams{});
+  }
+  std::unique_ptr<System> sys_;
+  std::unique_ptr<GroupManager> mgr_;
+};
+
+TEST_F(GroupsTest, CreateAndQueryMembers) {
+  const GroupId g = mgr_->CreateGroup({5, 1, 9});
+  EXPECT_EQ(mgr_->Members(g), (std::vector<NodeId>{1, 5, 9}));
+}
+
+TEST_F(GroupsTest, JoinAndLeave) {
+  const GroupId g = mgr_->CreateGroup({1, 5});
+  mgr_->Join(g, 3);
+  EXPECT_EQ(mgr_->Members(g), (std::vector<NodeId>{1, 3, 5}));
+  mgr_->Join(g, 3);  // idempotent
+  EXPECT_EQ(mgr_->Members(g).size(), 3u);
+  mgr_->Leave(g, 1);
+  EXPECT_EQ(mgr_->Members(g), (std::vector<NodeId>{3, 5}));
+  mgr_->Leave(g, 1);  // idempotent
+  EXPECT_EQ(mgr_->Members(g).size(), 2u);
+}
+
+TEST_F(GroupsTest, PlanExcludesRootAndCoversRest) {
+  const GroupId g = mgr_->CreateGroup({2, 4, 8, 16});
+  const McastPlan plan = mgr_->PlanFor(g, 4, SchemeKind::kTreeWorm);
+  EXPECT_EQ(plan.root, 4);
+  EXPECT_EQ(plan.dests, (std::vector<NodeId>{2, 8, 16}));
+}
+
+TEST_F(GroupsTest, PlansAreCached) {
+  const GroupId g = mgr_->CreateGroup({2, 4, 8, 16});
+  (void)mgr_->PlanFor(g, 4, SchemeKind::kPathWorm);
+  (void)mgr_->PlanFor(g, 4, SchemeKind::kPathWorm);
+  EXPECT_EQ(mgr_->cache_misses(), 1);
+  EXPECT_EQ(mgr_->cache_hits(), 1);
+  // Different root or scheme is a different entry.
+  (void)mgr_->PlanFor(g, 2, SchemeKind::kPathWorm);
+  (void)mgr_->PlanFor(g, 4, SchemeKind::kTreeWorm);
+  EXPECT_EQ(mgr_->cache_misses(), 3);
+}
+
+TEST_F(GroupsTest, MembershipChangeInvalidatesCache) {
+  const GroupId g = mgr_->CreateGroup({2, 4, 8});
+  (void)mgr_->PlanFor(g, 4, SchemeKind::kNiKBinomial);
+  mgr_->Join(g, 20);
+  const McastPlan plan = mgr_->PlanFor(g, 4, SchemeKind::kNiKBinomial);
+  EXPECT_EQ(mgr_->cache_misses(), 2);  // re-planned
+  EXPECT_EQ(plan.dests, (std::vector<NodeId>{2, 8, 20}));
+}
+
+TEST_F(GroupsTest, CachedPlanRunsCorrectly) {
+  const GroupId g = mgr_->CreateGroup({0, 3, 7, 21, 30});
+  SimConfig cfg;
+  const auto r = PlayOnce(*sys_, cfg, mgr_->PlanFor(g, 0, SchemeKind::kTreeWorm));
+  EXPECT_EQ(r.deliveries.size(), 4u);
+  // And again from the cache.
+  const auto r2 =
+      PlayOnce(*sys_, cfg, mgr_->PlanFor(g, 0, SchemeKind::kTreeWorm));
+  EXPECT_EQ(r2.Latency(), r.Latency());
+  EXPECT_EQ(mgr_->cache_hits(), 1);
+}
+
+TEST_F(GroupsTest, TwoGroupsAreIndependent) {
+  const GroupId a = mgr_->CreateGroup({1, 2, 3});
+  const GroupId b = mgr_->CreateGroup({4, 5, 6});
+  mgr_->Join(a, 10);
+  EXPECT_EQ(mgr_->Members(b), (std::vector<NodeId>{4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,106 @@
+#include "topology/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+class ReachSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    TopologySpec spec;
+    spec.num_switches = 16;
+    spec.num_hosts = 32;
+    sys_ = System::Build(spec, GetParam());
+  }
+  std::unique_ptr<System> sys_;
+};
+
+TEST_P(ReachSweep, LocalSetsMatchAttachments) {
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
+    const NodeSet& local = sys_->reach.Local(s);
+    EXPECT_EQ(local.ToVector(), sys_->graph.HostsAt(s));
+  }
+}
+
+TEST_P(ReachSweep, RawStringsMatchDownDistances) {
+  const auto& g = sys_->graph;
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
+    for (PortId p : sys_->updown.DownPorts(s)) {
+      const SwitchId t = g.port(s, p).peer_switch;
+      const NodeSet& raw = sys_->reach.Raw(s, p);
+      for (NodeId n = 0; n < sys_->num_nodes(); ++n) {
+        const bool reachable =
+            sys_->routing.DownDistance(t, g.SwitchOf(n)) >= 0;
+        EXPECT_EQ(raw.Test(n), reachable)
+            << "switch " << s << " port " << p << " node " << n;
+      }
+    }
+    // Up ports and host ports carry empty strings.
+    for (PortId p : sys_->updown.UpPorts(s))
+      EXPECT_TRUE(sys_->reach.Raw(s, p).Empty());
+  }
+}
+
+TEST_P(ReachSweep, PrimaryStringsPartitionDownCover) {
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
+    NodeSet unioned(sys_->num_nodes());
+    for (PortId p : sys_->updown.DownPorts(s)) {
+      const NodeSet& prim = sys_->reach.Primary(s, p);
+      EXPECT_TRUE(prim.IsSubsetOf(sys_->reach.Raw(s, p)));
+      EXPECT_FALSE(unioned.Intersects(prim));  // disjoint
+      unioned |= prim;
+    }
+    EXPECT_TRUE(unioned == sys_->reach.DownCover(s));
+  }
+}
+
+TEST_P(ReachSweep, RootDownCoversEveryRemoteNode) {
+  const SwitchId root = sys_->tree.root();
+  NodeSet expectation(sys_->num_nodes());
+  for (NodeId n = 0; n < sys_->num_nodes(); ++n)
+    if (sys_->graph.SwitchOf(n) != root) expectation.Set(n);
+  EXPECT_TRUE(expectation.IsSubsetOf(sys_->reach.DownCover(root)));
+}
+
+TEST_P(ReachSweep, PrimaryPortHasMinimalDownDistance) {
+  const auto& g = sys_->graph;
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
+    for (PortId p : sys_->updown.DownPorts(s)) {
+      for (NodeId n : sys_->reach.Primary(s, p).ToVector()) {
+        const int via_p = sys_->routing.DownDistance(g.port(s, p).peer_switch,
+                                                     g.SwitchOf(n));
+        for (PortId q : sys_->updown.DownPorts(s)) {
+          const int via_q = sys_->routing.DownDistance(
+              g.port(s, q).peer_switch, g.SwitchOf(n));
+          if (via_q >= 0) EXPECT_LE(via_p, via_q);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(Reachability, LineExample) {
+  // 0 - 1 - 2 with one host each; from the root every down port reaches
+  // everything below it.
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  g.AttachHost(0, 3);  // node 0
+  g.AttachHost(1, 3);  // node 1
+  g.AttachHost(2, 3);  // node 2
+  System sys{std::move(g)};
+  // Switch 0, port 0 (down to 1): reaches nodes 1 and 2.
+  EXPECT_EQ(sys.reach.Raw(0, 0).ToVector(), (std::vector<NodeId>{1, 2}));
+  // Switch 1, port 1 (down to 2): reaches node 2 only.
+  EXPECT_EQ(sys.reach.Raw(1, 1).ToVector(), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(sys.reach.DownCover(2).Empty());
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,88 @@
+#include "topology/root_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+Graph Star() {
+  // Switch 2 is the hub; 0, 1, 3 hang off it.
+  Graph g(4, 6);
+  g.AddLink(2, 0, 0, 0);
+  g.AddLink(2, 1, 1, 0);
+  g.AddLink(2, 2, 3, 0);
+  return g;
+}
+
+TEST(RootPolicy, LowestIdIsZero) {
+  const Graph g = Star();
+  EXPECT_EQ(SelectRoot(g, RootPolicy::kLowestId), 0);
+}
+
+TEST(RootPolicy, MaxDegreeFindsHub) {
+  const Graph g = Star();
+  EXPECT_EQ(SelectRoot(g, RootPolicy::kMaxDegree), 2);
+}
+
+TEST(RootPolicy, MinEccentricityFindsCentre) {
+  // Line 0-1-2-3-4: centre is 2.
+  Graph g(5, 4);
+  for (SwitchId s = 0; s < 4; ++s) g.AddLink(s, 1, s + 1, 0);
+  EXPECT_EQ(SelectRoot(g, RootPolicy::kMinEccentricity), 2);
+}
+
+TEST(RootPolicy, TiesBreakToLowerId) {
+  // Line 0-1-2-3: both 1 and 2 have eccentricity 2; pick 1.
+  Graph g(4, 4);
+  for (SwitchId s = 0; s < 3; ++s) g.AddLink(s, 1, s + 1, 0);
+  EXPECT_EQ(SelectRoot(g, RootPolicy::kMinEccentricity), 1);
+  // Equal degrees everywhere except ends; 1 and 2 tie at degree 2.
+  EXPECT_EQ(SelectRoot(g, RootPolicy::kMaxDegree), 1);
+}
+
+class RootPolicySweep : public ::testing::TestWithParam<RootPolicy> {};
+
+TEST_P(RootPolicySweep, SystemBuildsAndRoutesWithAnyRoot) {
+  TopologySpec spec;
+  spec.num_switches = 16;
+  spec.num_hosts = 32;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto sys = System::Build(spec, seed, GetParam());
+    // Root invariants hold regardless of policy.
+    EXPECT_TRUE(sys->updown.UpPorts(sys->tree.root()).empty());
+    EXPECT_EQ(sys->tree.Level(sys->tree.root()), 0);
+    // Full reachability of the routing tables.
+    for (SwitchId a = 0; a < sys->num_switches(); ++a)
+      for (SwitchId b = 0; b < sys->num_switches(); ++b)
+        EXPECT_GE(sys->routing.Distance(a, b), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RootPolicySweep,
+                         ::testing::Values(RootPolicy::kLowestId,
+                                           RootPolicy::kMaxDegree,
+                                           RootPolicy::kMinEccentricity),
+                         [](const auto& info) {
+                           std::string s = ToString(info.param);
+                           for (auto& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST(RootPolicy, CentreRootShortensWorstUpSegment) {
+  // On a long line with hosts at the ends, rooting at the centre at
+  // least halves the tree depth (= worst-case up segment).
+  Graph g(7, 4);
+  for (SwitchId s = 0; s < 6; ++s) g.AddLink(s, 1, s + 1, 0);
+  g.AttachHost(0, 3);
+  g.AttachHost(6, 3);
+  const BfsTree end_rooted(g, 0);
+  const BfsTree centre_rooted(g, SelectRoot(g, RootPolicy::kMinEccentricity));
+  EXPECT_EQ(end_rooted.depth(), 6);
+  EXPECT_EQ(centre_rooted.depth(), 3);
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,145 @@
+#include "topology/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+class RoutingSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    TopologySpec spec;
+    spec.num_switches = 16;
+    spec.num_hosts = 32;
+    sys_ = System::Build(spec, GetParam());
+  }
+  std::unique_ptr<System> sys_;
+};
+
+TEST_P(RoutingSweep, EveryPairReachable) {
+  const auto& rt = sys_->routing;
+  for (SwitchId a = 0; a < sys_->num_switches(); ++a)
+    for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+      EXPECT_GE(rt.Distance(a, b), a == b ? 0 : 1);
+      if (a == b) EXPECT_EQ(rt.Distance(a, b), 0);
+    }
+}
+
+TEST_P(RoutingSweep, DownDistanceConsistency) {
+  const auto& rt = sys_->routing;
+  const SwitchId root = sys_->tree.root();
+  for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+    // The root down-reaches everything (tree links from the root are all
+    // down), and the legal distance never exceeds the down distance.
+    EXPECT_GE(rt.DownDistance(root, b), 0);
+    const int dd = rt.DownDistance(b == root ? b : b, b);
+    EXPECT_EQ(dd, 0);  // self down-distance is zero
+  }
+  for (SwitchId a = 0; a < sys_->num_switches(); ++a)
+    for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+      const int dd = rt.DownDistance(a, b);
+      if (dd >= 0) EXPECT_LE(rt.Distance(a, b), dd);
+    }
+}
+
+TEST_P(RoutingSweep, CandidatesAdvanceTowardDestination) {
+  const auto& rt = sys_->routing;
+  const auto& g = sys_->graph;
+  for (SwitchId a = 0; a < sys_->num_switches(); ++a) {
+    for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+      if (a == b) {
+        EXPECT_TRUE(rt.Candidates(a, b, RoutePhase::kUpAllowed).empty());
+        continue;
+      }
+      const auto& cand = rt.Candidates(a, b, RoutePhase::kUpAllowed);
+      ASSERT_FALSE(cand.empty());
+      for (PortId p : cand) {
+        const SwitchId t = g.port(a, p).peer_switch;
+        const RoutePhase next =
+            rt.NextPhase(a, p, RoutePhase::kUpAllowed);
+        // Shortest-path property: remaining distance drops by one.
+        const int rem = next == RoutePhase::kUpAllowed
+                            ? rt.Distance(t, b)
+                            : rt.DownDistance(t, b);
+        ASSERT_GE(rem, 0);
+        EXPECT_EQ(rem + 1, rt.Distance(a, b));
+      }
+    }
+  }
+}
+
+TEST_P(RoutingSweep, GreedyWalksReachDestinationLegally) {
+  const auto& rt = sys_->routing;
+  const auto& g = sys_->graph;
+  for (SwitchId a = 0; a < sys_->num_switches(); ++a) {
+    for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+      if (a == b) continue;
+      SwitchId here = a;
+      RoutePhase phase = RoutePhase::kUpAllowed;
+      std::vector<PortId> hops;
+      int guard = 0;
+      while (here != b) {
+        ASSERT_LT(++guard, 64);
+        const auto& cand = rt.Candidates(here, b, phase);
+        ASSERT_FALSE(cand.empty());
+        const PortId p = cand.front();
+        hops.push_back(p);
+        phase = rt.NextPhase(here, p, phase);
+        here = g.port(here, p).peer_switch;
+      }
+      EXPECT_EQ(static_cast<int>(hops.size()), rt.Distance(a, b));
+      EXPECT_TRUE(rt.IsLegalRoute(a, hops));
+    }
+  }
+}
+
+TEST_P(RoutingSweep, DownPhaseCandidatesAreDownOnly) {
+  const auto& rt = sys_->routing;
+  const auto& ud = sys_->updown;
+  for (SwitchId a = 0; a < sys_->num_switches(); ++a)
+    for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
+      if (a == b) continue;
+      for (PortId p : rt.Candidates(a, b, RoutePhase::kDownOnly))
+        EXPECT_TRUE(ud.IsDown(a, p));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(RoutingTable, IsLegalRouteRejectsUpAfterDown) {
+  // Line 0-1-2: route 2 ->(up) 1 ->(up) 0 is legal; 1->(down)2 then
+  // 2->(up)1 is not.
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  g.AttachHost(0, 3);
+  g.AttachHost(1, 3);
+  g.AttachHost(2, 3);
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+  const RoutingTable rt(g, ud);
+  EXPECT_TRUE(rt.IsLegalRoute(2, {0, 0}));      // 2 up 1 up 0
+  EXPECT_TRUE(rt.IsLegalRoute(0, {0, 1}));      // 0 down 1 down 2
+  EXPECT_FALSE(rt.IsLegalRoute(1, {1, 0}));     // down to 2 then up to 1
+  EXPECT_FALSE(rt.IsLegalRoute(0, {3}));        // host port is not a route
+  EXPECT_FALSE(rt.IsLegalRoute(0, {kInvalidPort}));
+}
+
+TEST(RoutingTable, LineDistances) {
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+  const RoutingTable rt(g, ud);
+  EXPECT_EQ(rt.Distance(0, 2), 2);
+  EXPECT_EQ(rt.Distance(2, 0), 2);
+  EXPECT_EQ(rt.DownDistance(0, 2), 2);   // all-down from root
+  EXPECT_EQ(rt.DownDistance(2, 0), -1);  // cannot go down toward root
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,100 @@
+#include "topology/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.hpp"
+
+namespace irmc {
+namespace {
+
+bool GraphsEqual(const Graph& a, const Graph& b) {
+  if (a.num_switches() != b.num_switches()) return false;
+  if (a.ports_per_switch() != b.ports_per_switch()) return false;
+  if (a.num_hosts() != b.num_hosts()) return false;
+  for (SwitchId s = 0; s < a.num_switches(); ++s)
+    for (PortId p = 0; p < a.ports_per_switch(); ++p) {
+      const Port& pa = a.port(s, p);
+      const Port& pb = b.port(s, p);
+      if (pa.kind != pb.kind || pa.peer_switch != pb.peer_switch ||
+          pa.peer_port != pb.peer_port || pa.host != pb.host)
+        return false;
+    }
+  return true;
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTrip, TextPreservesEverything) {
+  TopologySpec spec;
+  spec.num_switches = 16;
+  spec.num_hosts = 32;
+  const Graph g = GenerateTopology(spec, GetParam());
+  const std::string text = ToText(g);
+  const auto parsed = GraphFromText(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(GraphsEqual(g, *parsed));
+  // Idempotent: serialising the parse yields the same text.
+  EXPECT_EQ(ToText(*parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Serialize, HandwrittenInputWithCommentsParses) {
+  const std::string text = R"(# a tiny network
+irmc-topology 1
+switches 2 ports 4
+
+host 0 0 0   # node 0 on switch 0
+host 1 1 0
+link 0 1 1 1
+)";
+  const auto g = GraphFromText(text);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_switches(), 2);
+  EXPECT_EQ(g->num_hosts(), 2);
+  EXPECT_EQ(g->NumLinks(), 1);
+  EXPECT_EQ(g->port(0, 1).peer_switch, 1);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_FALSE(GraphFromText("").has_value());
+  EXPECT_FALSE(GraphFromText("bogus 1\nswitches 2 ports 4\n").has_value());
+  EXPECT_FALSE(GraphFromText("irmc-topology 2\nswitches 2 ports 4\n")
+                   .has_value());  // wrong version
+  const std::string head = "irmc-topology 1\nswitches 2 ports 4\n";
+  EXPECT_FALSE(GraphFromText(head + "host 1 0 0\n").has_value());  // gap
+  EXPECT_FALSE(GraphFromText(head + "host 0 5 0\n").has_value());  // range
+  EXPECT_FALSE(GraphFromText(head + "link 0 0 0 1\n").has_value());  // self
+  EXPECT_FALSE(
+      GraphFromText(head + "host 0 0 0\nlink 0 0 1 0\n").has_value());
+  EXPECT_FALSE(GraphFromText(head + "frob 1 2 3\n").has_value());
+}
+
+TEST(Serialize, DotContainsAllElements) {
+  TopologySpec spec;
+  spec.num_switches = 4;
+  spec.num_hosts = 8;
+  const auto sys = System::Build(spec, 9);
+  const std::string dot = ToDot(*sys);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (SwitchId s = 0; s < 4; ++s) {
+    char label[16];
+    std::snprintf(label, sizeof label, "sw%d", s);
+    EXPECT_NE(dot.find(label), std::string::npos) << label;
+  }
+  for (NodeId n = 0; n < 8; ++n) {
+    char label[16];
+    std::snprintf(label, sizeof label, "h%d", n);
+    EXPECT_NE(dot.find(label), std::string::npos) << label;
+  }
+  // Every link appears exactly once: count " -> sw" edges.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find("-> sw"); pos != std::string::npos;
+       pos = dot.find("-> sw", pos + 1))
+    ++edges;
+  EXPECT_EQ(edges, static_cast<std::size_t>(sys->graph.NumLinks()));
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,87 @@
+#include "core/single_runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace irmc {
+namespace {
+
+SingleRunSpec SmallSpec(SchemeKind scheme) {
+  SingleRunSpec spec;
+  spec.scheme = scheme;
+  spec.multicast_size = 7;
+  spec.topologies = 3;
+  spec.samples_per_topology = 2;
+  return spec;
+}
+
+TEST(SingleRunner, ProducesExpectedSampleCount) {
+  const auto r = RunSingleMulticast(SmallSpec(SchemeKind::kTreeWorm));
+  EXPECT_EQ(r.samples, 6);
+  EXPECT_GT(r.mean_latency, 0.0);
+  EXPECT_LE(r.min_latency, r.mean_latency);
+  EXPECT_GE(r.max_latency, r.mean_latency);
+}
+
+TEST(SingleRunner, DeterministicForFixedSeed) {
+  const auto a = RunSingleMulticast(SmallSpec(SchemeKind::kPathWorm));
+  const auto b = RunSingleMulticast(SmallSpec(SchemeKind::kPathWorm));
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+}
+
+TEST(SingleRunner, SeedChangesSamples) {
+  auto spec = SmallSpec(SchemeKind::kTreeWorm);
+  const auto a = RunSingleMulticast(spec);
+  spec.cfg.seed = 999;
+  const auto b = RunSingleMulticast(spec);
+  EXPECT_NE(a.mean_latency, b.mean_latency);
+}
+
+TEST(SingleRunner, LatencyGrowsWithMulticastSize) {
+  auto small = SmallSpec(SchemeKind::kUnicastBinomial);
+  small.multicast_size = 3;
+  auto large = SmallSpec(SchemeKind::kUnicastBinomial);
+  large.multicast_size = 28;
+  EXPECT_LT(RunSingleMulticast(small).mean_latency,
+            RunSingleMulticast(large).mean_latency);
+}
+
+TEST(SingleRunner, PaperOrderingAtDefaults) {
+  // At default parameters (R=1, 1 packet): tree worm is best; both
+  // enhanced schemes beat the software binomial baseline (paper
+  // Section 4.2, Figure 6 middle panel).
+  auto spec = SmallSpec(SchemeKind::kTreeWorm);
+  spec.multicast_size = 15;
+  spec.topologies = 5;
+  const double tree = RunSingleMulticast(spec).mean_latency;
+  spec.scheme = SchemeKind::kNiKBinomial;
+  const double ni = RunSingleMulticast(spec).mean_latency;
+  spec.scheme = SchemeKind::kPathWorm;
+  const double path = RunSingleMulticast(spec).mean_latency;
+  spec.scheme = SchemeKind::kUnicastBinomial;
+  const double base = RunSingleMulticast(spec).mean_latency;
+  EXPECT_LT(tree, ni);
+  EXPECT_LT(tree, path);
+  EXPECT_LT(ni, base);
+  EXPECT_LT(path, base);
+}
+
+TEST(SingleRunner, TreeWormInsensitiveToRRatio) {
+  // The tree worm pays one host overhead regardless of R (Figure 6):
+  // halving o_ni barely moves it.
+  auto spec = SmallSpec(SchemeKind::kTreeWorm);
+  spec.multicast_size = 15;
+  const double at_r1 = RunSingleMulticast(spec).mean_latency;
+  const Cycles o_ni_r1 = spec.cfg.host.o_ni;
+  spec.cfg.host.SetRatio(4.0);
+  const Cycles o_ni_r4 = spec.cfg.host.o_ni;
+  const double at_r4 = RunSingleMulticast(spec).mean_latency;
+  // One phase pays o_ni exactly twice (source NI send, destination NI
+  // receive); cheaper NI cannot save more than that.
+  EXPECT_LE(at_r1 - at_r4, 2.0 * static_cast<double>(o_ni_r1 - o_ni_r4));
+  EXPECT_GT(at_r1, at_r4);  // cheaper NI still helps a little
+}
+
+}  // namespace
+}  // namespace irmc

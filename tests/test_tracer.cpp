@@ -1,0 +1,210 @@
+#include "trace/tracer.hpp"
+
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/executor.hpp"
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+namespace {
+
+TEST(Tracer, RecordsAndFilters) {
+  Tracer tracer;
+  tracer.Record({10, TraceKind::kInject, 1, 0, 3, -1});
+  tracer.Record({20, TraceKind::kRoute, 1, 0, 0, 2});
+  tracer.Record({30, TraceKind::kInject, 2, 0, 4, -1});
+  EXPECT_EQ(tracer.size(), 3u);
+  const auto injects = tracer.Filter(
+      [](const TraceEvent& e) { return e.kind == TraceKind::kInject; });
+  EXPECT_EQ(injects.size(), 2u);
+  EXPECT_EQ(tracer.OfMulticast(1).size(), 2u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, KindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (TraceKind k :
+       {TraceKind::kSendStart, TraceKind::kInject, TraceKind::kHeadArrive,
+        TraceKind::kRoute, TraceKind::kBranch, TraceKind::kNiDeliver,
+        TraceKind::kHostDeliver})
+    names.insert(ToString(k));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+class TracedRun : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  Tracer tracer_;
+  std::unique_ptr<System> sys_;
+  SimConfig cfg_;
+
+  MulticastResult RunTraced(const std::vector<NodeId>& dests) {
+    sys_ = System::Build({}, 42);
+    Engine engine;
+    McastDriver driver(engine, *sys_, cfg_, &tracer_);
+    const auto scheme = MakeScheme(GetParam(), cfg_.host);
+    MulticastResult result;
+    driver.Launch(scheme->Plan(*sys_, 0, dests, cfg_.message, cfg_.headers),
+                  0, [&result](const MulticastResult& r) { result = r; });
+    engine.RunToQuiescence();
+    return result;
+  }
+};
+
+TEST_P(TracedRun, EventCausalityHolds) {
+  const std::vector<NodeId> dests{5, 9, 17, 26};
+  const MulticastResult r = RunTraced(dests);
+  ASSERT_EQ(r.deliveries.size(), dests.size());
+
+  const auto events = tracer_.OfMulticast(r.id);
+  ASSERT_FALSE(events.empty());
+
+  // Times never decrease (recorded in event order).
+  Cycles prev = 0;
+  int sends = 0, injects = 0, routes = 0, ni_delivers = 0, host_delivers = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    switch (e.kind) {
+      case TraceKind::kSendStart: ++sends; break;
+      case TraceKind::kInject: ++injects; break;
+      case TraceKind::kRoute: ++routes; break;
+      case TraceKind::kNiDeliver: ++ni_delivers; break;
+      case TraceKind::kHostDeliver: ++host_delivers; break;
+      default: break;
+    }
+  }
+  EXPECT_GE(sends, 1);
+  EXPECT_GE(injects, 1);
+  EXPECT_GE(routes, injects);  // every injection is routed at least once
+  EXPECT_EQ(host_delivers, static_cast<int>(dests.size()));
+  // Every destination's NI saw every packet of the message.
+  EXPECT_EQ(ni_delivers % static_cast<int>(dests.size()), 0);
+
+  // The first event is the source's send, the last the final delivery.
+  EXPECT_EQ(events.front().kind, TraceKind::kSendStart);
+  EXPECT_EQ(events.front().actor, 0);
+  EXPECT_EQ(events.back().kind, TraceKind::kHostDeliver);
+}
+
+TEST_P(TracedRun, NiDeliverPrecedesHostDeliverPerNode) {
+  const std::vector<NodeId> dests{4, 12, 30};
+  const MulticastResult r = RunTraced(dests);
+  for (NodeId d : dests) {
+    Cycles ni_time = -1, host_time = -1;
+    for (const auto& e : tracer_.OfMulticast(r.id)) {
+      if (e.actor != d) continue;
+      if (e.kind == TraceKind::kNiDeliver && ni_time < 0) ni_time = e.time;
+      if (e.kind == TraceKind::kHostDeliver) host_time = e.time;
+    }
+    ASSERT_GE(ni_time, 0) << "node " << d;
+    ASSERT_GE(host_time, 0) << "node " << d;
+    EXPECT_LT(ni_time, host_time) << "node " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, TracedRun,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+TEST(LinkReports, UtilizationAndFlitAccounting) {
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  Engine engine;
+  McastDriver driver(engine, *sys, cfg);
+  const auto scheme = MakeScheme(SchemeKind::kTreeWorm, cfg.host);
+  std::vector<NodeId> dests{1, 2, 3, 4, 5, 6, 7, 8};
+  driver.Launch(scheme->Plan(*sys, 0, dests, cfg.message, cfg.headers), 0,
+                [](const MulticastResult&) {});
+  const Cycles end = engine.RunToQuiescence();
+
+  const auto reports = driver.fabric().LinkReports(end);
+  ASSERT_FALSE(reports.empty());
+  std::int64_t total_flits = 0;
+  for (const auto& r : reports) {
+    EXPECT_GE(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+    total_flits += r.flits;
+  }
+  EXPECT_EQ(total_flits, driver.fabric().flits_sent());
+  EXPECT_GT(driver.fabric().MaxLinkUtilization(end), 0.0);
+  EXPECT_LE(driver.fabric().MaxLinkUtilization(end), 1.0);
+}
+
+TEST(LinkReports, IdleFabricIsAllZero) {
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  Engine engine;
+  McastDriver driver(engine, *sys, cfg);
+  for (const auto& r : driver.fabric().LinkReports(1000)) {
+    EXPECT_EQ(r.flits, 0);
+    EXPECT_EQ(r.utilization, 0.0);
+  }
+}
+
+
+class BreakdownTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(BreakdownTest, ComponentsSumAndAreNonNegative) {
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  Tracer tracer;
+  Engine engine;
+  McastDriver driver(engine, *sys, cfg, &tracer);
+  const auto scheme = MakeScheme(GetParam(), cfg.host);
+  MulticastResult result;
+  const auto id = driver.Launch(
+      scheme->Plan(*sys, 0, {5, 13, 21, 29}, cfg.message, cfg.headers), 0,
+      [&result](const MulticastResult& r) { result = r; });
+  engine.RunToQuiescence();
+
+  const LatencyBreakdown b = AnalyzeMulticast(tracer, id);
+  EXPECT_GE(b.SourceSoftware(), 0);
+  EXPECT_GE(b.Network(), 0);
+  EXPECT_GE(b.DestinationSoftware(), 0);
+  EXPECT_EQ(b.SourceSoftware() + b.Network() + b.DestinationSoftware(),
+            b.Total());
+  EXPECT_EQ(b.Total(), result.Latency());
+  // The destination pays at least its host overhead after NI arrival.
+  EXPECT_GE(b.DestinationSoftware(), cfg.host.o_host);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BreakdownTest,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+TEST(Breakdown, TreeWormNetworkShareSmallerThanBaseline) {
+  // The baseline's "network" span contains every intermediate host's
+  // software (the last NI arrival comes phases later); the tree worm's
+  // is one pipelined pass.
+  const auto sys = System::Build({}, 42);
+  SimConfig cfg;
+  auto measure = [&](SchemeKind kind) {
+    Tracer tracer;
+    Engine engine;
+    McastDriver driver(engine, *sys, cfg, &tracer);
+    const auto scheme = MakeScheme(kind, cfg.host);
+    const auto id = driver.Launch(
+        scheme->Plan(*sys, 0, {5, 13, 21, 29}, cfg.message, cfg.headers), 0,
+        [](const MulticastResult&) {});
+    engine.RunToQuiescence();
+    return AnalyzeMulticast(tracer, id);
+  };
+  const LatencyBreakdown tree = measure(SchemeKind::kTreeWorm);
+  const LatencyBreakdown base = measure(SchemeKind::kUnicastBinomial);
+  EXPECT_LT(tree.Network(), base.Network());
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,108 @@
+#include "topology/updown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "topology/generator.hpp"
+
+namespace irmc {
+namespace {
+
+class UpDownSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpDownSweep, OrientationRules) {
+  TopologySpec spec;
+  spec.num_switches = 16;
+  spec.num_hosts = 32;
+  const Graph g = GenerateTopology(spec, GetParam());
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      const SwitchId peer = pt.peer_switch;
+      // Exactly one end of every link is up: traversals in opposite
+      // directions disagree.
+      EXPECT_NE(ud.IsUp(s, p), ud.IsUp(peer, pt.peer_port));
+      // The paper's rule.
+      const bool expect_up =
+          t.Level(peer) < t.Level(s) ||
+          (t.Level(peer) == t.Level(s) && peer < s);
+      EXPECT_EQ(ud.IsUp(s, p), expect_up);
+    }
+  }
+}
+
+TEST_P(UpDownSweep, UpGraphIsAcyclicWithRootSink) {
+  TopologySpec spec;
+  spec.num_switches = 16;
+  spec.num_hosts = 32;
+  const Graph g = GenerateTopology(spec, GetParam());
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+
+  // Root has no up ports; everyone else at least one.
+  EXPECT_TRUE(ud.UpPorts(t.root()).empty());
+  for (SwitchId s = 0; s < g.num_switches(); ++s)
+    if (s != t.root()) EXPECT_FALSE(ud.UpPorts(s).empty());
+
+  // Kahn's algorithm on the directed "up" edges consumes every switch,
+  // i.e. no directed loops (the deadlock-freedom precondition).
+  std::vector<int> out_degree(static_cast<std::size_t>(g.num_switches()), 0);
+  std::vector<std::vector<SwitchId>> up_preds(
+      static_cast<std::size_t>(g.num_switches()));
+  for (SwitchId s = 0; s < g.num_switches(); ++s)
+    for (PortId p : ud.UpPorts(s)) {
+      out_degree[static_cast<std::size_t>(s)]++;
+      up_preds[static_cast<std::size_t>(g.port(s, p).peer_switch)].push_back(
+          s);
+    }
+  std::queue<SwitchId> sinks;
+  int removed = 0;
+  for (SwitchId s = 0; s < g.num_switches(); ++s)
+    if (out_degree[static_cast<std::size_t>(s)] == 0) sinks.push(s);
+  while (!sinks.empty()) {
+    const SwitchId s = sinks.front();
+    sinks.pop();
+    ++removed;
+    for (SwitchId pred : up_preds[static_cast<std::size_t>(s)])
+      if (--out_degree[static_cast<std::size_t>(pred)] == 0) sinks.push(pred);
+  }
+  EXPECT_EQ(removed, g.num_switches());
+}
+
+TEST_P(UpDownSweep, UpAndDownPortsPartitionSwitchPorts) {
+  TopologySpec spec;
+  const Graph g = GenerateTopology(spec, GetParam());
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    int switch_ports = 0;
+    for (PortId p = 0; p < g.ports_per_switch(); ++p)
+      if (g.port(s, p).kind == PortKind::kSwitch) ++switch_ports;
+    EXPECT_EQ(static_cast<int>(ud.UpPorts(s).size() + ud.DownPorts(s).size()),
+              switch_ports);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpDownSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(UpDown, SameLevelTieBreaksByLowerId) {
+  // Triangle 0-1, 0-2, 1-2: switches 1 and 2 both level 1; the 1-2 link
+  // must be up toward 1.
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(0, 1, 2, 0);
+  g.AddLink(1, 1, 2, 1);
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+  EXPECT_TRUE(ud.IsUp(2, 1));   // 2 -> 1 goes up
+  EXPECT_FALSE(ud.IsUp(1, 1));  // 1 -> 2 goes down
+}
+
+}  // namespace
+}  // namespace irmc

@@ -1,0 +1,231 @@
+// irmcsim command-line driver.
+//
+//   irmcsim_cli single  --scheme tree-worm --size 15 [--ratio 1.0]
+//                       [--switches 8] [--nodes 32] [--packets 1]
+//                       [--topologies 10] [--samples 4] [--seed 1]
+//   irmcsim_cli load    --scheme ni-kbinomial --degree 8 --load 0.3
+//                       [--horizon 150000] [--topologies 2] ...
+//   irmcsim_cli dsm     --scheme path-worm [--sharers 8] ...
+//   irmcsim_cli topology [--seed 7] [--dot] [--save FILE] ...
+//   irmcsim_cli trace   --scheme tree-worm [--size 8] [--seed 42]
+//
+// Every command prints human-readable results; `topology --dot` emits
+// Graphviz on stdout for piping into `dot -Tsvg`.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/args.hpp"
+#include "mcast/binomial.hpp"
+#include "core/executor.hpp"
+#include "core/load_runner.hpp"
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "topology/serialize.hpp"
+#include "topology/system.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracer.hpp"
+#include "workloads/dsm.hpp"
+
+namespace {
+
+using namespace irmc;
+
+std::optional<SchemeKind> ParseScheme(const std::string& name) {
+  for (SchemeKind k :
+       {SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+        SchemeKind::kTreeWorm, SchemeKind::kPathWorm})
+    if (name == ToString(k) || name == ToIdent(k)) return k;
+  return std::nullopt;
+}
+
+/// "flat" selects the naive separate-addressing baseline (a planner,
+/// not a SchemeKind of its own).
+std::unique_ptr<MulticastScheme> MakeCliScheme(const std::string& name,
+                                               const HostParams& host) {
+  if (name == "flat") return std::make_unique<SeparateAddressingScheme>();
+  const auto kind = ParseScheme(name);
+  if (!kind) return nullptr;
+  return MakeScheme(*kind, host);
+}
+
+/// Common --switches/--nodes/--ports/--packets/--ratio/--seed handling.
+SimConfig ConfigFrom(const Args& args) {
+  SimConfig cfg;
+  cfg.topology.num_switches =
+      static_cast<int>(args.GetInt("switches", cfg.topology.num_switches));
+  cfg.topology.num_hosts =
+      static_cast<int>(args.GetInt("nodes", cfg.topology.num_hosts));
+  cfg.topology.ports_per_switch =
+      static_cast<int>(args.GetInt("ports", cfg.topology.ports_per_switch));
+  cfg.message.num_packets =
+      static_cast<int>(args.GetInt("packets", cfg.message.num_packets));
+  cfg.message.packet_flits =
+      static_cast<int>(args.GetInt("packet-flits", cfg.message.packet_flits));
+  cfg.host.SetRatio(args.GetDouble("ratio", cfg.host.R()));
+  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  return cfg;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: irmcsim_cli <single|load|dsm|topology|trace> "
+               "[options]\n"
+               "schemes: uni-binomial ni-kbinomial tree-worm path-worm flat\n"
+               "common:  --switches N --nodes N --ports N --packets N\n"
+               "         --packet-flits N --ratio R --seed S\n"
+               "load:    --pattern uniform|clustered|hotspot\n");
+  return 2;
+}
+
+int CmdSingle(const Args& args) {
+  const auto scheme = ParseScheme(args.GetString("scheme", "tree-worm"));
+  if (!scheme) return Usage();
+  SingleRunSpec spec;
+  spec.cfg = ConfigFrom(args);
+  spec.scheme = *scheme;
+  spec.multicast_size = static_cast<int>(args.GetInt("size", 15));
+  spec.topologies = static_cast<int>(args.GetInt("topologies", 10));
+  spec.samples_per_topology = static_cast<int>(args.GetInt("samples", 4));
+  const SingleRunResult r = RunSingleMulticast(spec);
+  std::printf("%s %d-way: mean %.1f cycles (%.2f us), min %.0f, max %.0f "
+              "over %d samples\n",
+              ToString(*scheme), spec.multicast_size, r.mean_latency,
+              r.mean_latency * spec.cfg.cycle_ns / 1000.0, r.min_latency,
+              r.max_latency, r.samples);
+  return 0;
+}
+
+int CmdLoad(const Args& args) {
+  const auto scheme = ParseScheme(args.GetString("scheme", "tree-worm"));
+  if (!scheme) return Usage();
+  LoadRunSpec spec;
+  spec.cfg = ConfigFrom(args);
+  spec.scheme = *scheme;
+  spec.degree = static_cast<int>(args.GetInt("degree", 8));
+  spec.effective_load = args.GetDouble("load", 0.2);
+  spec.horizon = args.GetInt("horizon", 150'000);
+  spec.warmup = spec.horizon / 10;
+  spec.topologies = static_cast<int>(args.GetInt("topologies", 2));
+  const std::string pattern = args.GetString("pattern", "uniform");
+  if (pattern == "clustered")
+    spec.pattern = DestPattern::kClustered;
+  else if (pattern == "hotspot")
+    spec.pattern = DestPattern::kHotspot;
+  else if (pattern != "uniform")
+    return Usage();
+  const LoadRunResult r = RunLoadSweepPoint(spec);
+  std::printf("%s %d-way at load %.2f: mean %.1f / p50 %.1f / p95 %.1f "
+              "cycles, %ld completed, %ld unfinished%s\n",
+              ToString(*scheme), spec.degree, spec.effective_load,
+              r.mean_latency, r.p50_latency, r.p95_latency, r.completed,
+              r.unfinished, r.saturated ? "  [SATURATED]" : "");
+  std::printf("  achieved throughput %.3f flits/cycle/host, hottest link "
+              "%.0f%% busy\n",
+              r.achieved_throughput, 100.0 * r.max_link_utilization);
+  return 0;
+}
+
+int CmdDsm(const Args& args) {
+  const auto scheme = ParseScheme(args.GetString("scheme", "tree-worm"));
+  if (!scheme) return Usage();
+  SimConfig cfg = ConfigFrom(args);
+  DsmParams params;
+  params.sharers_per_line = static_cast<int>(args.GetInt("sharers", 8));
+  params.write_interarrival = args.GetDouble("interarrival", 50'000.0);
+  params.topologies = static_cast<int>(args.GetInt("topologies", 3));
+  const DsmResult r = RunDsmInvalidation(cfg, *scheme, params);
+  std::printf("%s invalidations, %d sharers/line: mean write stall %.1f "
+              "cycles, p95 %.1f, %ld/%ld writes completed\n",
+              ToString(*scheme), params.sharers_per_line,
+              r.mean_write_latency, r.p95_write_latency, r.writes_completed,
+              r.writes_started);
+  return 0;
+}
+
+int CmdTopology(const Args& args) {
+  const SimConfig cfg = ConfigFrom(args);
+  const bool dot = args.GetFlag("dot");
+  const std::string save = args.GetString("save", "");
+  const auto sys = System::Build(cfg.topology, cfg.seed);
+  if (dot) {
+    std::fputs(ToDot(*sys).c_str(), stdout);
+  } else {
+    std::printf("%d switches / %d nodes / %d links, BFS depth %d, root %d\n",
+                sys->num_switches(), sys->num_nodes(), sys->graph.NumLinks(),
+                sys->tree.depth(), sys->tree.root());
+  }
+  if (!save.empty()) {
+    std::ofstream out(save);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", save.c_str());
+      return 1;
+    }
+    out << ToText(sys->graph);
+    std::printf("saved topology to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  SimConfig cfg = ConfigFrom(args);
+  const auto scheme =
+      MakeCliScheme(args.GetString("scheme", "tree-worm"), cfg.host);
+  if (!scheme) return Usage();
+  const int size = static_cast<int>(args.GetInt("size", 8));
+  const auto sys = System::Build(cfg.topology, cfg.seed);
+
+  Tracer tracer;
+  Engine engine;
+  McastDriver driver(engine, *sys, cfg, &tracer);
+  Rng rng(cfg.seed);
+  auto draw = rng.SampleWithoutReplacement(sys->num_nodes(), size + 1);
+  std::vector<NodeId> dests;
+  for (std::size_t i = 1; i < draw.size(); ++i)
+    dests.push_back(static_cast<NodeId>(draw[i]));
+  const auto id = driver.Launch(
+      scheme->Plan(*sys, static_cast<NodeId>(draw[0]), dests, cfg.message,
+                   cfg.headers),
+      0, [](const MulticastResult& r) {
+        std::printf("# completed at %lld cycles\n",
+                    static_cast<long long>(r.completion));
+      });
+  engine.RunToQuiescence();
+  const LatencyBreakdown b = AnalyzeMulticast(tracer, id);
+  std::printf("# breakdown: source software %lld + network %lld + "
+              "destination software %lld = %lld cycles\n",
+              static_cast<long long>(b.SourceSoftware()),
+              static_cast<long long>(b.Network()),
+              static_cast<long long>(b.DestinationSoftware()),
+              static_cast<long long>(b.Total()));
+  tracer.Dump(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  int rc;
+  if (args.command() == "single")
+    rc = CmdSingle(args);
+  else if (args.command() == "load")
+    rc = CmdLoad(args);
+  else if (args.command() == "dsm")
+    rc = CmdDsm(args);
+  else if (args.command() == "topology")
+    rc = CmdTopology(args);
+  else if (args.command() == "trace")
+    rc = CmdTrace(args);
+  else
+    return Usage();
+  if (rc == 0) {
+    for (const std::string& key : args.UnconsumedKeys()) {
+      std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
+      rc = 2;
+    }
+  }
+  return rc;
+}
