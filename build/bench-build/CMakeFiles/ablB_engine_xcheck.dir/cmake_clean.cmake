@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablB_engine_xcheck"
+  "../bench/ablB_engine_xcheck.pdb"
+  "CMakeFiles/ablB_engine_xcheck.dir/ablB_engine_xcheck.cpp.o"
+  "CMakeFiles/ablB_engine_xcheck.dir/ablB_engine_xcheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablB_engine_xcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablB_engine_xcheck.
+# This may be replaced when dependencies are built.

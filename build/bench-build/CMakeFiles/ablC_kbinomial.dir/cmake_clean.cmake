@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablC_kbinomial"
+  "../bench/ablC_kbinomial.pdb"
+  "CMakeFiles/ablC_kbinomial.dir/ablC_kbinomial.cpp.o"
+  "CMakeFiles/ablC_kbinomial.dir/ablC_kbinomial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablC_kbinomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

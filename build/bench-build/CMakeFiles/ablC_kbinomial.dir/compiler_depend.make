@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablC_kbinomial.
+# This may be replaced when dependencies are built.

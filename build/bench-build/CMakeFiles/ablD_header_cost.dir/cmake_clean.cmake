@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablD_header_cost"
+  "../bench/ablD_header_cost.pdb"
+  "CMakeFiles/ablD_header_cost.dir/ablD_header_cost.cpp.o"
+  "CMakeFiles/ablD_header_cost.dir/ablD_header_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablD_header_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablE_root_policy"
+  "../bench/ablE_root_policy.pdb"
+  "CMakeFiles/ablE_root_policy.dir/ablE_root_policy.cpp.o"
+  "CMakeFiles/ablE_root_policy.dir/ablE_root_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablE_root_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablE_root_policy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablG_ni_discipline"
+  "../bench/ablG_ni_discipline.pdb"
+  "CMakeFiles/ablG_ni_discipline.dir/ablG_ni_discipline.cpp.o"
+  "CMakeFiles/ablG_ni_discipline.dir/ablG_ni_discipline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablG_ni_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablG_ni_discipline.
+# This may be replaced when dependencies are built.

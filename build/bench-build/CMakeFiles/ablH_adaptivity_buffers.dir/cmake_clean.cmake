@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablH_adaptivity_buffers"
+  "../bench/ablH_adaptivity_buffers.pdb"
+  "CMakeFiles/ablH_adaptivity_buffers.dir/ablH_adaptivity_buffers.cpp.o"
+  "CMakeFiles/ablH_adaptivity_buffers.dir/ablH_adaptivity_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablH_adaptivity_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablI_chunked_tree"
+  "../bench/ablI_chunked_tree.pdb"
+  "CMakeFiles/ablI_chunked_tree.dir/ablI_chunked_tree.cpp.o"
+  "CMakeFiles/ablI_chunked_tree.dir/ablI_chunked_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablI_chunked_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appF_dsm_invalidation"
+  "../bench/appF_dsm_invalidation.pdb"
+  "CMakeFiles/appF_dsm_invalidation.dir/appF_dsm_invalidation.cpp.o"
+  "CMakeFiles/appF_dsm_invalidation.dir/appF_dsm_invalidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appF_dsm_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appF_dsm_invalidation.
+# This may be replaced when dependencies are built.

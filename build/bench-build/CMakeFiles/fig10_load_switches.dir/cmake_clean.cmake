@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_load_switches"
+  "../bench/fig10_load_switches.pdb"
+  "CMakeFiles/fig10_load_switches.dir/fig10_load_switches.cpp.o"
+  "CMakeFiles/fig10_load_switches.dir/fig10_load_switches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_load_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_load_msglen"
+  "../bench/fig11_load_msglen.pdb"
+  "CMakeFiles/fig11_load_msglen.dir/fig11_load_msglen.cpp.o"
+  "CMakeFiles/fig11_load_msglen.dir/fig11_load_msglen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_load_msglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_r_ratio"
+  "../bench/fig6_r_ratio.pdb"
+  "CMakeFiles/fig6_r_ratio.dir/fig6_r_ratio.cpp.o"
+  "CMakeFiles/fig6_r_ratio.dir/fig6_r_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_r_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

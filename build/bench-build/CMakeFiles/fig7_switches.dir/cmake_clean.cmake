@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_switches"
+  "../bench/fig7_switches.pdb"
+  "CMakeFiles/fig7_switches.dir/fig7_switches.cpp.o"
+  "CMakeFiles/fig7_switches.dir/fig7_switches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

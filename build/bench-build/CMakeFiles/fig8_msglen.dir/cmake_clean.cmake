@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_msglen"
+  "../bench/fig8_msglen.pdb"
+  "CMakeFiles/fig8_msglen.dir/fig8_msglen.cpp.o"
+  "CMakeFiles/fig8_msglen.dir/fig8_msglen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_msglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

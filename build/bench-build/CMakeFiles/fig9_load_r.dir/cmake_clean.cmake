@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_load_r"
+  "../bench/fig9_load_r.pdb"
+  "CMakeFiles/fig9_load_r.dir/fig9_load_r.cpp.o"
+  "CMakeFiles/fig9_load_r.dir/fig9_load_r.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_load_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

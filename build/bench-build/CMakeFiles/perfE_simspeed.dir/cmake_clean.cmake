@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perfE_simspeed"
+  "../bench/perfE_simspeed.pdb"
+  "CMakeFiles/perfE_simspeed.dir/perfE_simspeed.cpp.o"
+  "CMakeFiles/perfE_simspeed.dir/perfE_simspeed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfE_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

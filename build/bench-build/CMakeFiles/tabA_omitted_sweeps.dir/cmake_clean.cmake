@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabA_omitted_sweeps"
+  "../bench/tabA_omitted_sweeps.pdb"
+  "CMakeFiles/tabA_omitted_sweeps.dir/tabA_omitted_sweeps.cpp.o"
+  "CMakeFiles/tabA_omitted_sweeps.dir/tabA_omitted_sweeps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabA_omitted_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

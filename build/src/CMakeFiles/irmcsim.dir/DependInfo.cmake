@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/collectives.cpp" "src/CMakeFiles/irmcsim.dir/collectives/collectives.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/collectives/collectives.cpp.o.d"
+  "/root/repo/src/collectives/groups.cpp" "src/CMakeFiles/irmcsim.dir/collectives/groups.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/collectives/groups.cpp.o.d"
+  "/root/repo/src/common/args.cpp" "src/CMakeFiles/irmcsim.dir/common/args.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/common/args.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/irmcsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/irmcsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/irmcsim.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/irmcsim.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/load_runner.cpp" "src/CMakeFiles/irmcsim.dir/core/load_runner.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/core/load_runner.cpp.o.d"
+  "/root/repo/src/core/series.cpp" "src/CMakeFiles/irmcsim.dir/core/series.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/core/series.cpp.o.d"
+  "/root/repo/src/core/single_runner.cpp" "src/CMakeFiles/irmcsim.dir/core/single_runner.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/core/single_runner.cpp.o.d"
+  "/root/repo/src/mcast/binomial.cpp" "src/CMakeFiles/irmcsim.dir/mcast/binomial.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/mcast/binomial.cpp.o.d"
+  "/root/repo/src/mcast/kbinomial.cpp" "src/CMakeFiles/irmcsim.dir/mcast/kbinomial.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/mcast/kbinomial.cpp.o.d"
+  "/root/repo/src/mcast/path_worm.cpp" "src/CMakeFiles/irmcsim.dir/mcast/path_worm.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/mcast/path_worm.cpp.o.d"
+  "/root/repo/src/mcast/scheme.cpp" "src/CMakeFiles/irmcsim.dir/mcast/scheme.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/mcast/scheme.cpp.o.d"
+  "/root/repo/src/mcast/tree_worm.cpp" "src/CMakeFiles/irmcsim.dir/mcast/tree_worm.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/mcast/tree_worm.cpp.o.d"
+  "/root/repo/src/network/fabric.cpp" "src/CMakeFiles/irmcsim.dir/network/fabric.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/network/fabric.cpp.o.d"
+  "/root/repo/src/network/flit_engine.cpp" "src/CMakeFiles/irmcsim.dir/network/flit_engine.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/network/flit_engine.cpp.o.d"
+  "/root/repo/src/network/packet.cpp" "src/CMakeFiles/irmcsim.dir/network/packet.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/network/packet.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/irmcsim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/irmcsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/irmcsim.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/topology/bfs_tree.cpp" "src/CMakeFiles/irmcsim.dir/topology/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/bfs_tree.cpp.o.d"
+  "/root/repo/src/topology/deadlock_check.cpp" "src/CMakeFiles/irmcsim.dir/topology/deadlock_check.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/deadlock_check.cpp.o.d"
+  "/root/repo/src/topology/fault.cpp" "src/CMakeFiles/irmcsim.dir/topology/fault.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/fault.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/CMakeFiles/irmcsim.dir/topology/generator.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/generator.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/irmcsim.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/reachability.cpp" "src/CMakeFiles/irmcsim.dir/topology/reachability.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/reachability.cpp.o.d"
+  "/root/repo/src/topology/root_policy.cpp" "src/CMakeFiles/irmcsim.dir/topology/root_policy.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/root_policy.cpp.o.d"
+  "/root/repo/src/topology/routing_table.cpp" "src/CMakeFiles/irmcsim.dir/topology/routing_table.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/routing_table.cpp.o.d"
+  "/root/repo/src/topology/serialize.cpp" "src/CMakeFiles/irmcsim.dir/topology/serialize.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/serialize.cpp.o.d"
+  "/root/repo/src/topology/updown.cpp" "src/CMakeFiles/irmcsim.dir/topology/updown.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/topology/updown.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/irmcsim.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/irmcsim.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/workloads/bsp.cpp" "src/CMakeFiles/irmcsim.dir/workloads/bsp.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/workloads/bsp.cpp.o.d"
+  "/root/repo/src/workloads/dsm.cpp" "src/CMakeFiles/irmcsim.dir/workloads/dsm.cpp.o" "gcc" "src/CMakeFiles/irmcsim.dir/workloads/dsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs_tree.dir/test_bfs_tree.cpp.o"
+  "CMakeFiles/test_bfs_tree.dir/test_bfs_tree.cpp.o.d"
+  "test_bfs_tree"
+  "test_bfs_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

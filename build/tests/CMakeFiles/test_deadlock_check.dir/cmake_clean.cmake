@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_check.dir/test_deadlock_check.cpp.o"
+  "CMakeFiles/test_deadlock_check.dir/test_deadlock_check.cpp.o.d"
+  "test_deadlock_check"
+  "test_deadlock_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flit_engine.dir/test_flit_engine.cpp.o"
+  "CMakeFiles/test_flit_engine.dir/test_flit_engine.cpp.o.d"
+  "test_flit_engine"
+  "test_flit_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flit_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kbinomial.dir/test_kbinomial.cpp.o"
+  "CMakeFiles/test_kbinomial.dir/test_kbinomial.cpp.o.d"
+  "test_kbinomial"
+  "test_kbinomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kbinomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

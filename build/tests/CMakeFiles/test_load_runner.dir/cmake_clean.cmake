@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_runner.dir/test_load_runner.cpp.o"
+  "CMakeFiles/test_load_runner.dir/test_load_runner.cpp.o.d"
+  "test_load_runner"
+  "test_load_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nodeset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_worm.dir/test_path_worm.cpp.o"
+  "CMakeFiles/test_path_worm.dir/test_path_worm.cpp.o.d"
+  "test_path_worm"
+  "test_path_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_root_policy.dir/test_root_policy.cpp.o"
+  "CMakeFiles/test_root_policy.dir/test_root_policy.cpp.o.d"
+  "test_root_policy"
+  "test_root_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_root_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

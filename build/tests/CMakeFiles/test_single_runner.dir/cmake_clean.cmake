@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_runner.dir/test_single_runner.cpp.o"
+  "CMakeFiles/test_single_runner.dir/test_single_runner.cpp.o.d"
+  "test_single_runner"
+  "test_single_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_worm.dir/test_tree_worm.cpp.o"
+  "CMakeFiles/test_tree_worm.dir/test_tree_worm.cpp.o.d"
+  "test_tree_worm"
+  "test_tree_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irmcsim_cli.dir/irmcsim_cli.cpp.o"
+  "CMakeFiles/irmcsim_cli.dir/irmcsim_cli.cpp.o.d"
+  "irmcsim_cli"
+  "irmcsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irmcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
