@@ -5,6 +5,12 @@
 //   IRMC_SAMPLES     (source, destination-set) draws per topology (default 4)
 //   IRMC_LOAD_TOPOS  topologies per load data point (default 2)
 //   IRMC_HORIZON     load-run generation horizon in cycles (default 150000)
+//   IRMC_THREADS     trial-executor threads (default: all cores; 1 =
+//                    serial). Every data point fans its topology trials
+//                    out on the parallel executor (core/parallel.hpp)
+//                    and merges outcomes in trial-index order, so bench
+//                    output is bit-identical for any thread count.
+//                    Tracer-attached runs always execute serially.
 #pragma once
 
 #include <string>

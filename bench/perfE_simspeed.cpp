@@ -6,6 +6,7 @@
 
 #include "core/executor.hpp"
 #include "core/load_runner.hpp"
+#include "core/parallel.hpp"
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/system.hpp"
@@ -82,5 +83,31 @@ void BM_LoadedFabricEventRate(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LoadedFabricEventRate);
+
+void BM_LoadSweepEventRate(benchmark::State& state) {
+  // Events per wall-clock second of a whole load sweep point when its
+  // topology trials run on the parallel executor. Arg(1) is the serial
+  // baseline, higher args the parallel speedup — the ratio is the
+  // harness-level win the Trial refactor buys.
+  const int threads = static_cast<int>(state.range(0));
+  SetParallelThreads(threads);
+  LoadRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.degree = 8;
+  spec.effective_load = 0.3;
+  spec.topologies = 4;
+  spec.warmup = 5'000;
+  spec.horizon = 60'000;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const LoadRunResult r = RunLoadSweepPoint(spec);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r);
+  }
+  SetParallelThreads(0);  // restore IRMC_THREADS / hardware default
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoadSweepEventRate)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace

@@ -7,13 +7,15 @@
 #include <cstdlib>
 
 #include "core/load_runner.hpp"
+#include "core/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace irmc;
   const int degree = argc > 1 ? std::atoi(argv[1]) : 8;
 
-  std::printf("saturation probe: %d-way multicasts, defaults otherwise\n\n",
-              degree);
+  std::printf("saturation probe: %d-way multicasts, defaults otherwise "
+              "(topology trials on %d threads)\n\n",
+              degree, ParallelThreads());
   std::printf("%-14s %22s %18s\n", "scheme", "last sustainable load",
               "latency there");
 

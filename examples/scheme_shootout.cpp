@@ -6,12 +6,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/single_runner.hpp"
 
 int main() {
   using namespace irmc;
   std::printf("Where to provide multicast support? 15-way multicast, "
-              "32 nodes / 8 switches, single 128-flit packet.\n\n");
+              "32 nodes / 8 switches, single 128-flit packet.\n");
+  std::printf("(topology trials on %d threads; set IRMC_THREADS to "
+              "change)\n\n",
+              ParallelThreads());
   std::printf("%6s %14s %14s %14s %14s   %s\n", "R", "uni-binomial",
               "ni-kbinomial", "tree-worm", "path-worm", "winner (NI vs switch)");
 

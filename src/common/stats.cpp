@@ -20,6 +20,23 @@ void StreamingStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+}
+
 double StreamingStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double StreamingStats::variance() const {

@@ -12,6 +12,13 @@ class StreamingStats {
  public:
   void Add(double x);
 
+  /// Combines another accumulator into this one (Chan et al. parallel
+  /// Welford: counts, means, M2, min/max). Merging per-trial halves in a
+  /// fixed order is deterministic, which is what keeps parallel sweeps
+  /// bit-identical across thread counts; the result agrees with one-pass
+  /// accumulation up to floating-point rounding.
+  void Merge(const StreamingStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const;
   double variance() const;  ///< sample variance (n-1); 0 if n < 2
@@ -36,6 +43,13 @@ class SampleSet {
     sorted_ = false;
   }
   void Reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Appends another set's values in their stored order.
+  void Merge(const SampleSet& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+  }
 
   std::size_t count() const { return values_.size(); }
   double Mean() const;

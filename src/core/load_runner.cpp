@@ -1,10 +1,13 @@
 #include "core/load_runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "common/rng.hpp"
 #include "core/executor.hpp"
+#include "core/parallel.hpp"
+#include "core/trial.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/system.hpp"
 
@@ -27,7 +30,7 @@ struct TopologyRun {
   TopologyRun(const LoadRunSpec& s, const System& system, std::uint64_t seed)
       : spec(s),
         sys(system),
-        driver(engine, system, s.cfg),
+        driver(engine, system, s.cfg, s.tracer),
         scheme(MakeScheme(s.scheme, s.cfg.host)) {
     const double flits = static_cast<double>(s.cfg.message.TotalFlits());
     interarrival_mean =
@@ -138,25 +141,40 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
   IRMC_EXPECT(spec.degree >= 1 &&
               spec.degree < spec.cfg.topology.num_hosts);
 
-  SampleSet all;
-  long completed = 0;
-  long launched = 0;
-  double util_sum = 0.0;
-  for (int t = 0; t < spec.topologies; ++t) {
-    const auto sys = System::Build(spec.cfg.topology,
-                                   spec.cfg.seed + static_cast<std::uint64_t>(t));
+  const bool serial = spec.tracer != nullptr;
+  if (serial && ParallelThreads() > 1)
+    std::fprintf(stderr,
+                 "irmcsim: tracer attached, forcing serial trial "
+                 "execution (IRMC_THREADS=1)\n");
+
+  // Trial = one open-loop topology replica; it owns the Engine, System,
+  // McastDriver, and per-host Rng streams for its replica.
+  const auto body = [&spec](const TrialContext& ctx) {
+    const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed);
     TopologyRun run(spec, *sys,
-                    spec.cfg.seed * 104729 + static_cast<std::uint64_t>(t));
+                    spec.cfg.seed * 104729 +
+                        static_cast<std::uint64_t>(ctx.trial_index));
     run.Run();
-    completed += run.completed_measured;
-    launched += run.launched_measured;
-    util_sum += run.driver.fabric().MaxLinkUtilization(run.engine.Now());
-    for (double v : run.latencies.values()) all.Add(v);
-  }
+    TrialOutcome out;
+    out.completed = run.completed_measured;
+    out.launched = run.launched_measured;
+    out.util_sum = run.driver.fabric().MaxLinkUtilization(run.engine.Now());
+    out.events = run.engine.events_executed();
+    out.samples = std::move(run.latencies);
+    return out;
+  };
+
+  const TrialOutcome merged =
+      RunTrials(spec.cfg, spec.topologies, body, serial);
+  const SampleSet& all = merged.samples;
+  const long completed = merged.completed;
+  const long launched = merged.launched;
+  const double util_sum = merged.util_sum;
 
   LoadRunResult out;
   out.completed = completed;
   out.unfinished = launched - completed;
+  out.events_executed = merged.events;
   out.max_link_utilization =
       util_sum / static_cast<double>(spec.topologies);
   // Measured window: warmup..horizon, per host, per topology.

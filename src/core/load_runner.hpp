@@ -7,7 +7,14 @@
 // to the 1 flit/cycle host link bandwidth — equals the requested value.
 // Mean multicast latency (generation to last-destination delivery) is
 // measured over multicasts generated after a cold-start interval.
+//
+// Each topology replica is one Trial (core/trial.hpp): replicas execute
+// on the parallel executor (IRMC_THREADS) and merge in trial-index
+// order, so results are bit-identical for any thread count. Attaching a
+// tracer forces serial execution.
 #pragma once
+
+#include <cstdint>
 
 #include "common/stats.hpp"
 #include "core/config.hpp"
@@ -15,6 +22,8 @@
 #include "common/types.hpp"
 
 namespace irmc {
+
+class Tracer;
 
 /// How destination sets are drawn (the paper uses uniform; the other
 /// patterns probe locality sensitivity).
@@ -49,6 +58,9 @@ struct LoadRunSpec {
   double saturation_unfinished_frac = 0.5;
   /// Hard cap on mean latency before declaring saturation.
   double saturation_latency = 100'000.0;
+  /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
+  /// (logged to stderr) since the tracer is not shared across trials.
+  Tracer* tracer = nullptr;
 };
 
 struct LoadRunResult {
@@ -66,6 +78,9 @@ struct LoadRunResult {
   /// Hottest switch-to-switch link (busy fraction), averaged over
   /// topologies.
   double max_link_utilization = 0.0;
+  /// Simulation events executed across all topology replicas (harness
+  /// speed metric — see bench/perfE_simspeed.cpp).
+  std::uint64_t events_executed = 0;
 };
 
 LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec);

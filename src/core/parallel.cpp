@@ -1,0 +1,67 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace irmc {
+namespace {
+
+std::atomic<int> g_thread_override{0};
+
+}  // namespace
+
+void SetParallelThreads(int n) { g_thread_override.store(n > 0 ? n : 0); }
+
+int ParallelThreads() {
+  const int override_n = g_thread_override.load();
+  if (override_n > 0) return override_n;
+  const int env_n = EnvInt("IRMC_THREADS", 0);
+  if (env_n > 0) return env_n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : threads_(std::max(1, threads)) {}
+
+void ParallelExecutor::ForIndex(int count,
+                                const std::function<void(int)>& fn) const {
+  if (count <= 0) return;
+  const int crew = std::min(threads_, count);
+  if (crew <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto work = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // stop new claims
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(crew - 1));
+  for (int t = 0; t < crew - 1; ++t) workers.emplace_back(work);
+  work();  // the calling thread is crew member 0
+  for (std::thread& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace irmc

@@ -1,0 +1,54 @@
+// Deterministic parallel execution of independent trials.
+//
+// Experiment sweeps average over independent trials (topology replicas x
+// random draws) that share nothing but a config and a derived seed, so
+// they are embarrassingly parallel. ParallelExecutor runs an index range
+// on a small fixed-size crew of std::threads: workers claim indices from
+// an atomic counter (out of order), and callers are expected to write
+// each result into a per-index slot so the subsequent reduce can walk
+// the slots in index order — output is then bit-identical for any
+// thread count.
+//
+// Thread-count resolution, in priority order:
+//   1. SetParallelThreads(n)   programmatic override (CLI --threads, tests)
+//   2. IRMC_THREADS            environment knob
+//   3. std::thread::hardware_concurrency(), with 1 as the fallback
+// A resolved count of 1 runs everything inline on the calling thread —
+// exactly the pre-parallelism behaviour, no threads spawned.
+#pragma once
+
+#include <functional>
+
+namespace irmc {
+
+/// Resolved trial-execution thread count (override > IRMC_THREADS >
+/// hardware_concurrency > 1). Always >= 1.
+int ParallelThreads();
+
+/// Programmatic override of the thread count; n <= 0 restores the
+/// environment/default resolution.
+void SetParallelThreads(int n);
+
+/// A fixed-size thread crew for one index range. The calling thread is
+/// always crew member 0; `threads - 1` workers are spawned per ForIndex
+/// call and joined before it returns (trial bodies dominate the spawn
+/// cost by orders of magnitude, and per-call crews avoid static
+/// teardown hazards a persistent pool would carry).
+class ParallelExecutor {
+ public:
+  /// threads < 1 is clamped to 1 (inline serial execution).
+  explicit ParallelExecutor(int threads);
+
+  int threads() const { return threads_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, count), possibly
+  /// concurrently and out of order. Blocks until all indices complete.
+  /// The first exception thrown by fn stops further claims and is
+  /// rethrown on the calling thread after the crew joins.
+  void ForIndex(int count, const std::function<void(int)>& fn) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace irmc

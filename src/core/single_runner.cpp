@@ -1,15 +1,18 @@
 #include "core/single_runner.hpp"
 
+#include <cstdio>
 #include <optional>
 
 #include "common/rng.hpp"
+#include "core/parallel.hpp"
+#include "core/trial.hpp"
 
 namespace irmc {
 
 MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
-                         McastPlan plan) {
+                         McastPlan plan, Tracer* tracer) {
   Engine engine;
-  McastDriver driver(engine, sys, cfg);
+  McastDriver driver(engine, sys, cfg, tracer);
   std::optional<MulticastResult> result;
   driver.Launch(std::move(plan), 0,
                 [&result](const MulticastResult& r) { result = r; });
@@ -21,15 +24,24 @@ MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
 SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
   IRMC_EXPECT(spec.multicast_size >= 1);
   IRMC_EXPECT(spec.multicast_size < spec.cfg.topology.num_hosts);
-  const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
 
-  StreamingStats stats;
-  for (int t = 0; t < spec.topologies; ++t) {
-    const auto sys =
-        System::Build(spec.cfg.topology,
-                      spec.cfg.seed + static_cast<std::uint64_t>(t),
-                      spec.root_policy);
-    Rng rng(spec.cfg.seed * 7919 + static_cast<std::uint64_t>(t));
+  const bool serial = spec.tracer != nullptr;
+  if (serial && ParallelThreads() > 1)
+    std::fprintf(stderr,
+                 "irmcsim: tracer attached, forcing serial trial "
+                 "execution (IRMC_THREADS=1)\n");
+
+  // Trial = one topology: build the system for the derived seed, then
+  // draw and play samples_per_topology independent multicasts. The
+  // trial owns its Engine, System, McastDriver, and Rng — nothing
+  // mutable crosses trial boundaries.
+  const auto body = [&spec](const TrialContext& ctx) {
+    TrialOutcome out;
+    const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
+    const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed,
+                                   spec.root_policy);
+    Rng rng(spec.cfg.seed * 7919 +
+            static_cast<std::uint64_t>(ctx.trial_index));
     for (int s = 0; s < spec.samples_per_topology; ++s) {
       // Draw source + destinations (distinct, excluding the source).
       auto draw = rng.SampleWithoutReplacement(sys->num_nodes(),
@@ -41,15 +53,21 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
 
       McastPlan plan = scheme->Plan(*sys, src, dests, spec.cfg.message,
                                     spec.cfg.headers);
-      const MulticastResult r = PlayOnce(*sys, spec.cfg, std::move(plan));
-      stats.Add(static_cast<double>(r.Latency()));
+      const MulticastResult r =
+          PlayOnce(*sys, spec.cfg, std::move(plan), spec.tracer);
+      out.latency.Add(static_cast<double>(r.Latency()));
     }
-  }
+    return out;
+  };
+
+  const TrialOutcome merged =
+      RunTrials(spec.cfg, spec.topologies, body, serial);
+
   SingleRunResult out;
-  out.samples = static_cast<int>(stats.count());
-  out.mean_latency = stats.mean();
-  out.min_latency = stats.min();
-  out.max_latency = stats.max();
+  out.samples = static_cast<int>(merged.latency.count());
+  out.mean_latency = merged.latency.mean();
+  out.min_latency = merged.latency.min();
+  out.max_latency = merged.latency.max();
   return out;
 }
 

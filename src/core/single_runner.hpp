@@ -5,6 +5,12 @@
 // runs on a fresh fabric: draw a source and a destination set, plan,
 // play, record the completion latency. Results are averaged over
 // multiple random topologies and draws, as in the paper.
+//
+// Each topology is one Trial (core/trial.hpp): trials execute on the
+// parallel executor (IRMC_THREADS) and their outcomes merge in
+// trial-index order, so the result is bit-identical for any thread
+// count. Attaching a tracer forces serial execution — a single Tracer
+// cannot record from concurrent trials.
 #pragma once
 
 #include <vector>
@@ -23,6 +29,9 @@ struct SingleRunSpec {
   int topologies = 10;           ///< averaged over this many topologies
   int samples_per_topology = 4;  ///< random (source, dest-set) draws each
   RootPolicy root_policy = RootPolicy::kLowestId;
+  /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
+  /// (logged to stderr) since the tracer is not shared across trials.
+  Tracer* tracer = nullptr;
 };
 
 struct SingleRunResult {
@@ -38,6 +47,6 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec);
 /// Runs one planned multicast on a fresh driver over an existing system;
 /// returns the full result (building block for tests and examples).
 MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
-                         McastPlan plan);
+                         McastPlan plan, Tracer* tracer = nullptr);
 
 }  // namespace irmc

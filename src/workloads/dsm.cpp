@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/executor.hpp"
+#include "core/trial.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/system.hpp"
 
@@ -142,21 +143,28 @@ class DsmRun {
 
 DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
                              const DsmParams& params) {
+  // Trial = one DSM topology replica (core/trial.hpp): replicas run on
+  // the parallel executor and merge in trial-index order.
+  const TrialOutcome merged = RunTrials(
+      cfg, params.topologies, [&](const TrialContext& ctx) {
+        const auto sys = System::Build(cfg.topology, ctx.derived_seed);
+        DsmRun run(cfg, scheme, params, *sys,
+                   cfg.seed * 6151 +
+                       static_cast<std::uint64_t>(ctx.trial_index));
+        run.Run();
+        TrialOutcome out;
+        out.launched = run.started();
+        out.completed = run.completed();
+        out.samples = run.latencies();
+        return out;
+      });
+
   DsmResult out;
-  SampleSet all;
-  for (int t = 0; t < params.topologies; ++t) {
-    const auto sys = System::Build(cfg.topology,
-                                   cfg.seed + static_cast<std::uint64_t>(t));
-    DsmRun run(cfg, scheme, params, *sys,
-               cfg.seed * 6151 + static_cast<std::uint64_t>(t));
-    run.Run();
-    out.writes_started += run.started();
-    out.writes_completed += run.completed();
-    for (double v : run.latencies().values()) all.Add(v);
-  }
-  if (all.count() > 0) {
-    out.mean_write_latency = all.Mean();
-    out.p95_write_latency = all.Quantile(0.95);
+  out.writes_started = merged.launched;
+  out.writes_completed = merged.completed;
+  if (merged.samples.count() > 0) {
+    out.mean_write_latency = merged.samples.Mean();
+    out.p95_write_latency = merged.samples.Quantile(0.95);
   }
   return out;
 }

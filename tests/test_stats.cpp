@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace irmc {
 namespace {
@@ -41,6 +42,120 @@ TEST(StreamingStats, NegativeValues) {
   s.Add(3.0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(StreamingStats, MergeOfHalvesMatchesOnePass) {
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  StreamingStats one_pass, lo, hi;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    one_pass.Add(data[i]);
+    (i < data.size() / 2 ? lo : hi).Add(data[i]);
+  }
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), one_pass.count());
+  EXPECT_NEAR(lo.mean(), one_pass.mean(), 1e-12);
+  EXPECT_NEAR(lo.variance(), one_pass.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(lo.min(), one_pass.min());
+  EXPECT_DOUBLE_EQ(lo.max(), one_pass.max());
+}
+
+TEST(StreamingStats, MergeUnevenSplitMatchesOnePass) {
+  StreamingStats one_pass, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i * i % 37) - 11.0;
+    one_pass.Add(v);
+    (i < 13 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_NEAR(a.mean(), one_pass.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), one_pass.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), one_pass.min());
+  EXPECT_DOUBLE_EQ(a.max(), one_pass.max());
+}
+
+TEST(StreamingStats, MergeEmptyRightIsIdentity) {
+  StreamingStats s, empty;
+  s.Add(3.0);
+  s.Add(7.0);
+  s.Merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(StreamingStats, MergeIntoEmptyCopiesOther) {
+  StreamingStats empty, s;
+  s.Add(3.0);
+  s.Add(7.0);
+  empty.Merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+  EXPECT_NEAR(empty.variance(), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 7.0);
+}
+
+TEST(StreamingStats, MergeBothEmptyStaysEmpty) {
+  StreamingStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(StreamingStats, MergeIsBitwiseDeterministic) {
+  // The same halves merged in the same order must produce bit-identical
+  // results — the property the cross-thread-count determinism of the
+  // parallel trial executor rests on.
+  const auto build = []() {
+    StreamingStats lo, hi;
+    for (int i = 0; i < 50; ++i)
+      (i % 2 == 0 ? lo : hi).Add(1.0 / (1.0 + i));
+    lo.Merge(hi);
+    return lo;
+  };
+  const StreamingStats a = build();
+  const StreamingStats b = build();
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(SampleSet, MergeAppendsInStoredOrder) {
+  SampleSet a, b;
+  a.Add(5.0);
+  a.Add(1.0);
+  b.Add(9.0);
+  b.Add(0.5);
+  a.Merge(b);
+  ASSERT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(a.values()[1], 1.0);
+  EXPECT_DOUBLE_EQ(a.values()[2], 9.0);
+  EXPECT_DOUBLE_EQ(a.values()[3], 0.5);
+}
+
+TEST(SampleSet, MergeInvalidatesSortedCache) {
+  SampleSet a, b;
+  a.Add(5.0);
+  a.Add(1.0);
+  EXPECT_DOUBLE_EQ(a.Median(), 3.0);  // forces the sorted cache
+  b.Add(0.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Median(), 1.0);
+}
+
+TEST(SampleSet, MergeEmptySides) {
+  SampleSet a, empty;
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
 }
 
 TEST(SampleSet, MeanAndQuantiles) {

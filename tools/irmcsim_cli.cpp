@@ -21,6 +21,7 @@
 #include "mcast/binomial.hpp"
 #include "core/executor.hpp"
 #include "core/load_runner.hpp"
+#include "core/parallel.hpp"
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/serialize.hpp"
@@ -66,6 +67,9 @@ SimConfig ConfigFrom(const Args& args) {
       static_cast<int>(args.GetInt("packet-flits", cfg.message.packet_flits));
   cfg.host.SetRatio(args.GetDouble("ratio", cfg.host.R()));
   cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  // --threads N overrides IRMC_THREADS for the trial executor (1 = serial).
+  const int threads = static_cast<int>(args.GetInt("threads", 0));
+  if (threads > 0) SetParallelThreads(threads);
   return cfg;
 }
 
@@ -76,6 +80,8 @@ int Usage() {
                "schemes: uni-binomial ni-kbinomial tree-worm path-worm flat\n"
                "common:  --switches N --nodes N --ports N --packets N\n"
                "         --packet-flits N --ratio R --seed S\n"
+               "         --threads N  (parallel trials; default "
+               "IRMC_THREADS or all cores)\n"
                "load:    --pattern uniform|clustered|hotspot\n");
   return 2;
 }
