@@ -3,17 +3,44 @@
 // IRMC_EXPECT checks preconditions, IRMC_ENSURE postconditions/invariants.
 // Both are always on: simulation correctness matters more than the last
 // few percent of speed, and a silently-wrong simulator is worthless.
+//
+// A failure prints the kind of contract, the failed expression, and the
+// file:line of the check. The _MSG variants append a printf-style context
+// message so the offending values survive into the diagnostic:
+//
+//   IRMC_EXPECT_MSG(p >= 0 && p < ports_, "port %d out of [0,%d)", p, ports_);
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace irmc::detail {
 
+#if defined(__GNUC__) || defined(__clang__)
+#define IRMC_PRINTF_LIKE(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define IRMC_PRINTF_LIKE(fmt_index, first_arg)
+#endif
+
 [[noreturn]] inline void ContractFailure(const char* kind, const char* expr,
                                          const char* file, int line) {
   std::fprintf(stderr, "irmcsim: %s violated: (%s) at %s:%d\n", kind, expr,
                file, line);
+  std::abort();
+}
+
+[[noreturn]] IRMC_PRINTF_LIKE(5, 6) inline void ContractFailure(
+    const char* kind, const char* expr, const char* file, int line,
+    const char* fmt, ...) {
+  std::fprintf(stderr, "irmcsim: %s violated: (%s) at %s:%d: ", kind, expr,
+               file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
   std::abort();
 }
 
@@ -26,9 +53,23 @@ namespace irmc::detail {
                                       __LINE__);                           \
   } while (0)
 
+#define IRMC_EXPECT_MSG(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::irmc::detail::ContractFailure("precondition", #cond, __FILE__,     \
+                                      __LINE__, __VA_ARGS__);              \
+  } while (0)
+
 #define IRMC_ENSURE(cond)                                                  \
   do {                                                                     \
     if (!(cond))                                                           \
       ::irmc::detail::ContractFailure("invariant", #cond, __FILE__,        \
                                       __LINE__);                           \
+  } while (0)
+
+#define IRMC_ENSURE_MSG(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::irmc::detail::ContractFailure("invariant", #cond, __FILE__,        \
+                                      __LINE__, __VA_ARGS__);              \
   } while (0)

@@ -10,6 +10,7 @@ McastPlan TreeWormScheme::Plan(const System& sys, NodeId src,
                                const std::vector<NodeId>& dests,
                                const MessageShape& shape,
                                const HeaderSizing& headers) const {
+  (void)sys;
   (void)shape;
   McastPlan plan;
   plan.scheme = SchemeKind::kTreeWorm;

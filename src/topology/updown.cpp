@@ -7,7 +7,7 @@ namespace irmc {
 UpDownOrientation::UpDownOrientation(const Graph& g, const BfsTree& tree)
     : ports_(g.ports_per_switch()) {
   const auto n = static_cast<std::size_t>(g.num_switches());
-  is_up_.assign(n * static_cast<std::size_t>(ports_), 0);
+  orientation_.assign(n * static_cast<std::size_t>(ports_), kNone);
   up_ports_.assign(n, {});
   down_ports_.assign(n, {});
 
@@ -20,7 +20,7 @@ UpDownOrientation::UpDownOrientation(const Graph& g, const BfsTree& tree)
       const int lt = tree.Level(t);
       // Traversal s -> t is "up" iff t is the up end of this link.
       const bool up = (lt < ls) || (lt == ls && t < s);
-      is_up_[Index(s, p)] = up ? 1 : 0;
+      orientation_[Index(s, p)] = up ? kUp : kDown;
       if (up)
         up_ports_[static_cast<std::size_t>(s)].push_back(p);
       else

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/expect.hpp"
 #include "topology/bfs_tree.hpp"
 #include "topology/graph.hpp"
 
@@ -19,9 +20,11 @@ class UpDownOrientation {
   UpDownOrientation(const Graph& g, const BfsTree& tree);
 
   /// True when traversing out of switch s through port p moves toward
-  /// the "up" end of that link. Requires the port to be a switch port.
+  /// the "up" end of that link. Requires the port to be a switch port
+  /// (enforced: a host or free port has no orientation, and silently
+  /// treating one as "down" would misroute).
   bool IsUp(SwitchId s, PortId p) const {
-    return is_up_[Index(s, p)];
+    return Orientation(s, p) == kUp;
   }
   bool IsDown(SwitchId s, PortId p) const { return !IsUp(s, p); }
 
@@ -34,13 +37,26 @@ class UpDownOrientation {
   }
 
  private:
+  /// Per-(switch, port) orientation; kNone marks host/free ports.
+  enum : char { kNone = 0, kUp = 1, kDown = 2 };
+
   std::size_t Index(SwitchId s, PortId p) const {
     return static_cast<std::size_t>(s) * static_cast<std::size_t>(ports_) +
            static_cast<std::size_t>(p);
   }
 
+  char Orientation(SwitchId s, PortId p) const {
+    IRMC_EXPECT_MSG(s >= 0 && p >= 0 && p < ports_ &&
+                        Index(s, p) < orientation_.size(),
+                    "switch %d port %d out of range", s, p);
+    const char o = orientation_[Index(s, p)];
+    IRMC_EXPECT_MSG(o != kNone, "switch %d port %d is not a switch port", s,
+                    p);
+    return o;
+  }
+
   int ports_;
-  std::vector<char> is_up_;
+  std::vector<char> orientation_;
   std::vector<std::vector<PortId>> up_ports_;
   std::vector<std::vector<PortId>> down_ports_;
 };

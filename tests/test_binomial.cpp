@@ -108,10 +108,11 @@ TEST(BuildCappedBinomialShape, CapOneIsAChain) {
   const auto children = BuildCappedBinomialShape(5, 1);
   for (int u = 0; u <= 5; ++u) {
     const auto& kids = children[static_cast<std::size_t>(u)];
-    if (u < 5)
+    if (u < 5) {
       EXPECT_EQ(kids, (std::vector<int>{u + 1}));
-    else
+    } else {
       EXPECT_TRUE(kids.empty());
+    }
   }
 }
 

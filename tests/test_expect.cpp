@@ -1,0 +1,48 @@
+// Death tests for the contract-check macros: a failed contract must
+// abort and name the kind, the failed expression, the file:line, and —
+// for the _MSG variants — the caller-supplied context with its values.
+#include "common/expect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(ExpectDeathTest, PreconditionPrintsExpressionAndLocation) {
+  EXPECT_DEATH(
+      IRMC_EXPECT(2 + 2 == 5),
+      "precondition violated: \\(2 \\+ 2 == 5\\) at .*test_expect\\.cpp:[0-9]+");
+}
+
+TEST(ExpectDeathTest, EnsureReportsInvariantKind) {
+  EXPECT_DEATH(IRMC_ENSURE(false), "invariant violated: \\(false\\)");
+}
+
+TEST(ExpectDeathTest, ContextMessageCarriesFormattedValues) {
+  const int port = 11;
+  const int limit = 8;
+  EXPECT_DEATH(
+      IRMC_EXPECT_MSG(port < limit, "port %d out of [0,%d)", port, limit),
+      "precondition violated: \\(port < limit\\) at "
+      ".*test_expect\\.cpp:[0-9]+: port 11 out of \\[0,8\\)");
+}
+
+TEST(ExpectDeathTest, EnsureMessageSupportsStrings) {
+  const char* stage = "merge";
+  EXPECT_DEATH(IRMC_ENSURE_MSG(1 == 2, "stats %s lost samples", stage),
+               "invariant violated: .*stats merge lost samples");
+}
+
+TEST(Expect, PassingChecksAreSilentAndEvaluateOnce) {
+  int calls = 0;
+  auto touch = [&calls] {
+    ++calls;
+    return true;
+  };
+  IRMC_EXPECT(touch());
+  IRMC_EXPECT_MSG(touch(), "context %d", 1);
+  IRMC_ENSURE(touch());
+  IRMC_ENSURE_MSG(touch(), "context");
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace

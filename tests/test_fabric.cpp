@@ -336,8 +336,11 @@ TEST(Fabric, AllLocalTreeWormNeverTouchesSwitchLinks) {
   // Injection (1) + one ejection per destination; nothing else.
   EXPECT_EQ(h.fabric->flits_sent(),
             static_cast<std::int64_t>(38 * (1 + dests.size())));
-  for (const auto& r : h.fabric->LinkReports(h.engine.Now()))
-    if (r.sw != kInvalidSwitch && !r.to_host) EXPECT_EQ(r.flits, 0);
+  for (const auto& r : h.fabric->LinkReports(h.engine.Now())) {
+    if (r.sw != kInvalidSwitch && !r.to_host) {
+      EXPECT_EQ(r.flits, 0);
+    }
+  }
 }
 
 TEST(Fabric, ReadyTimeOrderingPreservedPerChannel) {

@@ -123,9 +123,11 @@ TEST(KBinomialPlan, NonParticipantsHaveNoChildren) {
   KBinomialNiScheme scheme;
   const McastPlan plan = scheme.Plan(*sys, 0, {1, 2, 3}, {}, {});
   std::set<NodeId> participants{0, 1, 2, 3};
-  for (NodeId n = 0; n < sys->num_nodes(); ++n)
-    if (!participants.count(n))
+  for (NodeId n = 0; n < sys->num_nodes(); ++n) {
+    if (!participants.count(n)) {
       EXPECT_TRUE(plan.children[static_cast<std::size_t>(n)].empty());
+    }
+  }
 }
 
 

@@ -75,7 +75,9 @@ TEST_P(ReachSweep, PrimaryPortHasMinimalDownDistance) {
         for (PortId q : sys_->updown.DownPorts(s)) {
           const int via_q = sys_->routing.DownDistance(
               g.port(s, q).peer_switch, g.SwitchOf(n));
-          if (via_q >= 0) EXPECT_LE(via_p, via_q);
+          if (via_q >= 0) {
+            EXPECT_LE(via_p, via_q);
+          }
         }
       }
     }

@@ -23,7 +23,9 @@ TEST_P(RoutingSweep, EveryPairReachable) {
   for (SwitchId a = 0; a < sys_->num_switches(); ++a)
     for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
       EXPECT_GE(rt.Distance(a, b), a == b ? 0 : 1);
-      if (a == b) EXPECT_EQ(rt.Distance(a, b), 0);
+      if (a == b) {
+        EXPECT_EQ(rt.Distance(a, b), 0);
+      }
     }
 }
 
@@ -34,13 +36,14 @@ TEST_P(RoutingSweep, DownDistanceConsistency) {
     // The root down-reaches everything (tree links from the root are all
     // down), and the legal distance never exceeds the down distance.
     EXPECT_GE(rt.DownDistance(root, b), 0);
-    const int dd = rt.DownDistance(b == root ? b : b, b);
-    EXPECT_EQ(dd, 0);  // self down-distance is zero
+    EXPECT_EQ(rt.DownDistance(b, b), 0);  // self down-distance is zero
   }
   for (SwitchId a = 0; a < sys_->num_switches(); ++a)
     for (SwitchId b = 0; b < sys_->num_switches(); ++b) {
       const int dd = rt.DownDistance(a, b);
-      if (dd >= 0) EXPECT_LE(rt.Distance(a, b), dd);
+      if (dd >= 0) {
+        EXPECT_LE(rt.Distance(a, b), dd);
+      }
     }
 }
 

@@ -46,8 +46,11 @@ TEST_P(UpDownSweep, UpGraphIsAcyclicWithRootSink) {
 
   // Root has no up ports; everyone else at least one.
   EXPECT_TRUE(ud.UpPorts(t.root()).empty());
-  for (SwitchId s = 0; s < g.num_switches(); ++s)
-    if (s != t.root()) EXPECT_FALSE(ud.UpPorts(s).empty());
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s != t.root()) {
+      EXPECT_FALSE(ud.UpPorts(s).empty());
+    }
+  }
 
   // Kahn's algorithm on the directed "up" edges consumes every switch,
   // i.e. no directed loops (the deadlock-freedom precondition).
@@ -90,6 +93,20 @@ TEST_P(UpDownSweep, UpAndDownPortsPartitionSwitchPorts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UpDownSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(UpDownDeathTest, NonSwitchPortsHaveNoOrientation) {
+  // Regression: IsUp/IsDown on a host or free port used to silently
+  // report "down"; any caller trusting that would misroute. The contract
+  // now rejects it.
+  Graph g(2, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AttachHost(0, 1);  // port 1 is a host port, ports 2-3 stay free
+  const BfsTree t(g);
+  const UpDownOrientation ud(g, t);
+  EXPECT_DEATH(ud.IsUp(0, 1), "not a switch port");
+  EXPECT_DEATH(ud.IsDown(0, 2), "not a switch port");
+  EXPECT_DEATH(ud.IsUp(0, 99), "out of range");
+}
 
 TEST(UpDown, SameLevelTieBreaksByLowerId) {
   // Triangle 0-1, 0-2, 1-2: switches 1 and 2 both level 1; the 1-2 link

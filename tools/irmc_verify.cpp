@@ -1,0 +1,201 @@
+// Static verification driver: proves a System's routing state legal
+// without running the simulator (see docs/verification.md).
+//
+//   irmc_verify --trials 50 --switches 8,16,32 --faults 1 --seed 7
+//       generates 50 random topologies (cycling through the switch
+//       counts), verifies each, then injects one survivable link fault,
+//       rebuilds the System Autonet-style and re-verifies the repaired
+//       tables.
+//
+//   irmc_verify --load FILE [--faults F]
+//       verifies a topology serialized by `irmcsim_cli topology --save`.
+//
+// Prints failing reports (all reports with --verbose) and exits 0 only
+// when every verified System passes every invariant.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "topology/fault.hpp"
+#include "topology/generator.hpp"
+#include "topology/serialize.hpp"
+#include "topology/system.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using namespace irmc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: irmc_verify [--trials N] [--seed S]\n"
+               "                   [--switches LIST] [--nodes N] [--ports P]\n"
+               "                   [--faults F] [--load FILE] [--verbose]\n"
+               "  --trials N     generated topologies to verify (default 20)\n"
+               "  --switches L   comma-separated switch counts the trials\n"
+               "                 cycle through (default 8,16,32)\n"
+               "  --nodes N      hosts per topology (default 32)\n"
+               "  --ports P      ports per switch (default 8)\n"
+               "  --faults F     per topology, inject F survivable link\n"
+               "                 faults, rebuild, and re-verify (default 0)\n"
+               "  --load FILE    verify a serialized topology instead of\n"
+               "                 generating\n"
+               "  --verbose      print every report, not only failures\n");
+  return 2;
+}
+
+std::vector<int> ParseSwitchList(const std::string& list) {
+  std::vector<int> out;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const int v = std::atoi(item.c_str());
+    if (v <= 0) return {};
+    out.push_back(v);
+  }
+  return out;
+}
+
+struct Tally {
+  int verified = 0;
+  int faulted = 0;
+  int failed = 0;
+};
+
+/// Verifies one System, printing its report when it fails (or always,
+/// verbose). Returns true when every check passed.
+bool VerifyOne(const System& sys, const std::string& label, bool verbose) {
+  const verify::VerifyReport report = verify::VerifySystem(sys, label);
+  if (!report.pass() || verbose)
+    std::fputs(verify::Render(report).c_str(), stdout);
+  return report.pass();
+}
+
+/// Removes up to `faults` random survivable links from `g` (a bridge is
+/// never removed; an unsurvivable fault has no legal repaired tables to
+/// verify). Returns the number actually injected.
+int InjectFaults(Graph& g, int faults, Rng& rng) {
+  int injected = 0;
+  for (int f = 0; f < faults; ++f) {
+    std::vector<LinkRef> links = AllLinks(g);
+    rng.Shuffle(links);
+    bool removed = false;
+    for (const LinkRef& link : links) {
+      if (auto degraded = WithoutLink(g, link.sw, link.port)) {
+        g = std::move(*degraded);
+        removed = true;
+        ++injected;
+        break;
+      }
+    }
+    if (!removed) break;  // only bridges left
+  }
+  return injected;
+}
+
+/// Post-fault re-verification: degrade the graph, rebuild the System on
+/// the surviving topology (Autonet reconfiguration), verify the repaired
+/// tables.
+void VerifyFaulted(const Graph& pristine, int faults, std::uint64_t seed,
+                   const std::string& label, bool verbose, Tally& tally) {
+  Graph degraded = pristine;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const int injected = InjectFaults(degraded, faults, rng);
+  if (injected == 0) return;  // nothing survivable to remove
+  const System sys(std::move(degraded));
+  ++tally.faulted;
+  if (!VerifyOne(sys, label + " (+" + std::to_string(injected) + " faults)",
+                 verbose))
+    ++tally.failed;
+}
+
+int RunLoaded(const std::string& path, int faults, bool verbose) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "irmc_verify: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<Graph> g = GraphFromText(text.str());
+  if (!g) {
+    std::fprintf(stderr, "irmc_verify: %s is not a valid irmc-topology file\n",
+                 path.c_str());
+    return 2;
+  }
+  if (!g->Connected()) {
+    std::fprintf(stderr,
+                 "irmc_verify: %s: switch graph is disconnected — no "
+                 "routing tables exist for it\n",
+                 path.c_str());
+    return 1;
+  }
+  Tally tally;
+  const Graph pristine = *g;
+  const System sys(std::move(*g));
+  const verify::VerifyReport report = verify::VerifySystem(sys, path);
+  ++tally.verified;
+  if (!report.pass()) ++tally.failed;
+  std::fputs(verify::Render(report).c_str(), stdout);
+  if (faults > 0) VerifyFaulted(pristine, faults, 1, path, verbose, tally);
+  return tally.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  if (!args.command().empty()) return Usage();
+
+  const int trials = static_cast<int>(args.GetInt("trials", 20));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::vector<int> sizes =
+      ParseSwitchList(args.GetString("switches", "8,16,32"));
+  const int nodes = static_cast<int>(args.GetInt("nodes", 32));
+  const int ports = static_cast<int>(args.GetInt("ports", 8));
+  const int faults = static_cast<int>(args.GetInt("faults", 0));
+  const std::string load = args.GetString("load", "");
+  const bool verbose = args.GetFlag("verbose");
+
+  for (const std::string& key : args.UnconsumedKeys()) {
+    std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
+    return Usage();
+  }
+  if (sizes.empty() || trials <= 0 || nodes <= 0 || ports <= 0 || faults < 0)
+    return Usage();
+
+  if (!load.empty()) return RunLoaded(load, faults, verbose);
+
+  Tally tally;
+  for (int i = 0; i < trials; ++i) {
+    TopologySpec spec;
+    spec.num_switches = sizes[static_cast<std::size_t>(i) % sizes.size()];
+    spec.ports_per_switch = ports;
+    spec.num_hosts = nodes;
+    const std::uint64_t trial_seed = seed + static_cast<std::uint64_t>(i);
+    const std::string label = "trial " + std::to_string(i) + " (S=" +
+                              std::to_string(spec.num_switches) +
+                              ", seed=" + std::to_string(trial_seed) + ")";
+    const auto sys = System::Build(spec, trial_seed);
+    ++tally.verified;
+    if (!VerifyOne(*sys, label, verbose)) ++tally.failed;
+    if (faults > 0)
+      VerifyFaulted(sys->graph, faults, trial_seed, label, verbose, tally);
+  }
+
+  if (tally.failed == 0)
+    std::printf("irmc_verify: %d topologies verified (%d re-verified after "
+                "fault injection): all clean\n",
+                tally.verified, tally.faulted);
+  else
+    std::printf("irmc_verify: %d topologies verified (%d re-verified after "
+                "fault injection): %d FAILED\n",
+                tally.verified, tally.faulted, tally.failed);
+  return tally.failed == 0 ? 0 : 1;
+}
