@@ -11,8 +11,15 @@
 //                    and merges outcomes in trial-index order, so bench
 //                    output is bit-identical for any thread count.
 //                    Tracer-attached runs always execute serially.
+//   IRMC_METRICS_DIR directory for per-point metric sidecars
+//                    (<slug>.metrics.jsonl, one JSON line per data
+//                    point; default "."; set empty to disable).
 #pragma once
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +27,7 @@
 #include "core/load_runner.hpp"
 #include "core/series.hpp"
 #include "core/single_runner.hpp"
+#include "metrics/export.hpp"
 
 namespace irmc::bench {
 
@@ -36,11 +44,72 @@ inline std::vector<std::string> SchemeColumns(const std::string& x_label) {
   return cols;
 }
 
+/// Filesystem-safe slug for a panel title ("Fig. 6: latency vs R" ->
+/// "fig_6_latency_vs_r").
+inline std::string SlugifyTitle(const std::string& title) {
+  std::string s;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      s.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    else if (!s.empty() && s.back() != '_')
+      s.push_back('_');
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s.empty() ? std::string("panel") : s;
+}
+
+/// Where sidecars go: $IRMC_METRICS_DIR, defaulting to the working
+/// directory. An explicitly empty value disables sidecar output.
+inline std::string MetricsDir() {
+  const char* dir = std::getenv("IRMC_METRICS_DIR");
+  return dir != nullptr ? std::string(dir) : std::string(".");
+}
+
+/// Per-point metric sidecar for one panel: appends one JSON line per
+/// (x, scheme) data point to <slug(title)>.metrics.jsonl so figures in
+/// the series tables can be cross-checked against the fabric/driver
+/// counters that produced them. The file is recreated per run; point
+/// order is the panel's deterministic sweep order, and the registry
+/// serialisation is bit-identical for any IRMC_THREADS, so the sidecar
+/// is byte-stable too.
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(const std::string& title) {
+    const std::string dir = MetricsDir();
+    if (dir.empty()) return;  // disabled
+    path_ = dir + "/" + SlugifyTitle(title) + ".metrics.jsonl";
+    std::remove(path_.c_str());
+  }
+
+  void Record(const std::string& x_label, double x, SchemeKind scheme,
+              const MetricsRegistry& reg) {
+    if (path_.empty()) return;
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "cannot append sidecar %s\n", path_.c_str());
+      path_.clear();
+      return;
+    }
+    char xbuf[40];
+    std::snprintf(xbuf, sizeof xbuf, "%.17g", x);
+    out << "{\"" << JsonEscape(x_label) << "\":" << xbuf << ",\"scheme\":\""
+        << JsonEscape(ToString(scheme)) << "\",\"metrics\":" << ToJson(reg)
+        << "}\n";
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;  ///< empty = disabled
+};
+
 /// One single-multicast panel: latency per scheme over multicast sizes.
 inline SeriesTable SingleMulticastPanel(const std::string& title,
                                         const SimConfig& cfg,
                                         const std::vector<int>& sizes) {
   SeriesTable table(title, SchemeColumns("mcast_size"));
+  MetricsSidecar sidecar(title);
   const int topologies = EnvInt("IRMC_TOPOLOGIES", 10);
   const int samples = EnvInt("IRMC_SAMPLES", 4);
   for (int size : sizes) {
@@ -52,7 +121,9 @@ inline SeriesTable SingleMulticastPanel(const std::string& title,
       spec.multicast_size = size;
       spec.topologies = topologies;
       spec.samples_per_topology = samples;
-      row.push_back(RunSingleMulticast(spec).mean_latency);
+      const SingleRunResult r = RunSingleMulticast(spec);
+      sidecar.Record("mcast_size", size, scheme, r.metrics);
+      row.push_back(r.mean_latency);
     }
     table.AddRow(row);
   }
@@ -64,6 +135,7 @@ inline SeriesTable SingleMulticastPanel(const std::string& title,
 inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg,
                              int degree, const std::vector<double>& loads) {
   SeriesTable table(title, SchemeColumns("eff_load"));
+  MetricsSidecar sidecar(title);
   const int topologies = EnvInt("IRMC_LOAD_TOPOS", 2);
   const auto horizon = static_cast<Cycles>(EnvInt("IRMC_HORIZON", 150'000));
   for (double load : loads) {
@@ -79,6 +151,7 @@ inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg,
       spec.horizon = horizon;
       spec.warmup = horizon / 10;
       const LoadRunResult r = RunLoadSweepPoint(spec);
+      sidecar.Record("eff_load", load, scheme, r.metrics);
       row.push_back(r.mean_latency);
       saturated.push_back(r.saturated);
     }

@@ -2,13 +2,26 @@
 // engine, topology construction, and plan construction. Not a paper
 // figure — this guards the harness's own speed so the load sweeps stay
 // tractable.
+//
+// After the google-benchmark suites, a custom main times an identical
+// load sweep point with metrics collection on and off, reports both in
+// events/sec, and writes BENCH_perfE.json (to IRMC_METRICS_DIR, default
+// ".") with the measured overhead. Overhead above 5% prints a FAIL line
+// but exits 0 — the gate is informational; timing noise on shared CI
+// runners must not turn it into a flake.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/executor.hpp"
 #include "core/load_runner.hpp"
 #include "core/parallel.hpp"
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
+#include "metrics/export.hpp"
 #include "topology/system.hpp"
 
 namespace {
@@ -110,4 +123,94 @@ void BM_LoadSweepEventRate(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadSweepEventRate)->Arg(1)->Arg(4)->UseRealTime();
 
+// ---------------------------------------------------------------------
+// Metrics-overhead gate (custom main, after the google-benchmark run).
+
+/// One timed pass over a load sweep point. Returns (events, seconds).
+struct TimedSweep {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double EventsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+TimedSweep TimeSweep(bool collect_metrics) {
+  LoadRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.degree = 8;
+  spec.effective_load = 0.3;
+  spec.topologies = 4;
+  spec.warmup = 5'000;
+  spec.horizon = 60'000;
+  spec.collect_metrics = collect_metrics;
+  const auto t0 = std::chrono::steady_clock::now();
+  const LoadRunResult r = RunLoadSweepPoint(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  TimedSweep out;
+  out.events = r.events_executed;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+/// Measures events/sec with metrics on vs. off (best of kReps each,
+/// alternating so thermal/frequency drift hits both modes), prints the
+/// comparison, and writes BENCH_perfE.json. Always returns 0.
+int RunMetricsOverheadGate() {
+  constexpr int kReps = 3;
+  constexpr double kGatePct = 5.0;
+  SetParallelThreads(1);  // serial: wall time == work, no scheduler noise
+  TimeSweep(true);        // warm caches/allocator before measuring
+  TimedSweep best_on, best_off;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const TimedSweep on = TimeSweep(true);
+    const TimedSweep off = TimeSweep(false);
+    if (rep == 0 || on.seconds < best_on.seconds) best_on = on;
+    if (rep == 0 || off.seconds < best_off.seconds) best_off = off;
+  }
+  SetParallelThreads(0);  // restore IRMC_THREADS / hardware default
+
+  const double overhead_pct =
+      best_off.seconds > 0.0
+          ? 100.0 * (best_on.seconds - best_off.seconds) / best_off.seconds
+          : 0.0;
+  const bool pass = overhead_pct <= kGatePct;
+  std::printf("metrics overhead: on %.3g events/s, off %.3g events/s, "
+              "%+.2f%% (gate %.0f%%) -- %s\n",
+              best_on.EventsPerSec(), best_off.EventsPerSec(), overhead_pct,
+              kGatePct, pass ? "PASS" : "FAIL (informational)");
+
+  const char* env_dir = std::getenv("IRMC_METRICS_DIR");
+  const std::string dir = env_dir != nullptr ? env_dir : ".";
+  if (!dir.empty()) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"bench\":\"perfE_simspeed\",\"gate_pct\":%.17g,"
+        "\"metrics_on\":{\"events\":%llu,\"seconds\":%.17g,"
+        "\"events_per_sec\":%.17g},"
+        "\"metrics_off\":{\"events\":%llu,\"seconds\":%.17g,"
+        "\"events_per_sec\":%.17g},"
+        "\"overhead_pct\":%.17g,\"pass\":%s}\n",
+        kGatePct, static_cast<unsigned long long>(best_on.events),
+        best_on.seconds, best_on.EventsPerSec(),
+        static_cast<unsigned long long>(best_off.events), best_off.seconds,
+        best_off.EventsPerSec(), overhead_pct, pass ? "true" : "false");
+    const std::string path = dir + "/BENCH_perfE.json";
+    if (!WriteFile(path, buf))
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    else
+      std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return RunMetricsOverheadGate();
+}

@@ -5,15 +5,31 @@
 namespace irmc {
 
 McastDriver::McastDriver(Engine& engine, const System& sys,
-                         const SimConfig& cfg, Tracer* tracer)
+                         const SimConfig& cfg, Tracer* tracer,
+                         MetricsRegistry* metrics)
     : engine_(engine), sys_(sys), cfg_(cfg), tracer_(tracer) {
+  if (metrics) {
+    m_.has = true;
+    m_.launched = &metrics->GetCounter("mcast.launched");
+    m_.completed = &metrics->GetCounter("mcast.completed");
+    m_.latency = &metrics->GetHistogram("mcast.latency");
+    m_.dests = &metrics->GetHistogram("mcast.dests");
+    m_.worms = &metrics->GetCounter("mcast.worms");
+    m_.forward_phases = &metrics->GetCounter("mcast.forward_phases");
+    m_.host_cycles = &metrics->GetCounter("host.cycles");
+    m_.host_sends = &metrics->GetCounter("host.sends");
+    m_.ni_cycles = &metrics->GetCounter("ni.cycles");
+    m_.ni_forward_copies = &metrics->GetCounter("ni.forward_copies");
+    m_.io_dma_cycles = &metrics->GetCounter("io.dma_cycles");
+    m_.io_dma_transfers = &metrics->GetCounter("io.dma_transfers");
+  }
   nodes_.resize(static_cast<std::size_t>(sys.num_nodes()));
   fabric_ = std::make_unique<Fabric>(
       engine, sys, cfg.net,
       [this](NodeId n, const PacketPtr& pkt, Cycles head, Cycles tail) {
         OnDeliver(n, pkt, head, tail);
       },
-      tracer);
+      tracer, metrics);
 }
 
 std::int64_t McastDriver::Launch(McastPlan plan, Cycles when, DoneFn done,
@@ -34,6 +50,10 @@ std::int64_t McastDriver::Launch(McastPlan plan, Cycles when, DoneFn done,
   for (std::size_t w = 0; w < exec->plan.worms.size(); ++w)
     exec->worms_by_sender[exec->plan.worms[w].sender].push_back(
         static_cast<int>(w));
+  if (m_.has) {
+    m_.launched->Add();
+    m_.dests->Add(exec->remaining);
+  }
   Exec* raw = exec.get();
   live_.emplace(id, std::move(exec));
   engine_.ScheduleAt(when, [this, raw]() { StartSource(*raw); });
@@ -76,8 +96,17 @@ void McastDriver::ConventionalSendToOne(Exec& exec, NodeId u, NodeId c,
   const Cycles h = nr.host_cpu.Reserve(earliest, hp.o_host) + hp.o_host;
   const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
   const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  if (m_.has) {
+    m_.host_sends->Add();
+    m_.host_cycles->Add(hp.o_host);
+    m_.ni_cycles->Add(hp.o_ni);
+  }
   for (int j = 0; j < exec.shape.num_packets; ++j) {
     const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    if (m_.has) {
+      m_.io_dma_cycles->Add(dma_dur);
+      m_.io_dma_transfers->Add();
+    }
     auto pkt = MakeBasePacket(exec, j);
     pkt->kind = HeaderKind::kUnicast;
     pkt->uni_dest = c;
@@ -99,13 +128,26 @@ void McastDriver::SmartSourceSend(Exec& exec) {
   const Cycles h = nr.host_cpu.Reserve(engine_.Now(), hp.o_host) + hp.o_host;
   const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
   const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  if (m_.has) {
+    m_.host_sends->Add();
+    m_.host_cycles->Add(hp.o_host);
+    m_.ni_cycles->Add(hp.o_ni);
+  }
   const auto& kids = exec.plan.children[static_cast<std::size_t>(u)];
   for (int j = 0; j < exec.shape.num_packets; ++j) {
     const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    if (m_.has) {
+      m_.io_dma_cycles->Add(dma_dur);
+      m_.io_dma_transfers->Add();
+    }
     for (NodeId c : kids) {
       const Cycles ready = nr.ni_cpu.Reserve(std::max(ni, dma_done),
                                              hp.ni_forward_overhead) +
                            hp.ni_forward_overhead;
+      if (m_.has) {
+        m_.ni_cycles->Add(hp.ni_forward_overhead);
+        m_.ni_forward_copies->Add();
+      }
       auto pkt = MakeBasePacket(exec, j);
       pkt->kind = HeaderKind::kUnicast;
       pkt->uni_dest = c;
@@ -127,6 +169,10 @@ void McastDriver::SmartForward(Exec& exec, NodeId u, int pkt_index,
     const Cycles ready = nr.ni_cpu.Reserve(std::max(ni_ready, tail),
                                            hp.ni_forward_overhead) +
                          hp.ni_forward_overhead;
+    if (m_.has) {
+      m_.ni_cycles->Add(hp.ni_forward_overhead);
+      m_.ni_forward_copies->Add();
+    }
     auto pkt = MakeBasePacket(exec, pkt_index);
     pkt->kind = HeaderKind::kUnicast;
     pkt->uni_dest = c;
@@ -143,6 +189,11 @@ void McastDriver::SendTreeWorms(Exec& exec) {
   const Cycles h = nr.host_cpu.Reserve(engine_.Now(), hp.o_host) + hp.o_host;
   const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
   const Cycles dma_dur = hp.DmaCycles(exec.shape.packet_flits);
+  if (m_.has) {
+    m_.host_sends->Add();
+    m_.host_cycles->Add(hp.o_host);
+    m_.ni_cycles->Add(hp.o_ni);
+  }
 
   // Default: one worm addressing the full set; chunked plans carry one
   // region (and header size) per worm. All worms leave back to back —
@@ -164,8 +215,13 @@ void McastDriver::SendTreeWorms(Exec& exec) {
                  exec.plan.tree_region_header_flits[r]});
   }
 
+  if (m_.has) m_.worms->Add(static_cast<std::int64_t>(regions.size()));
   for (int j = 0; j < exec.shape.num_packets; ++j) {
     const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+    if (m_.has) {
+      m_.io_dma_cycles->Add(dma_dur);
+      m_.io_dma_transfers->Add();
+    }
     for (const Region& region : regions) {
       auto pkt = MakeBasePacket(exec, j);
       pkt->kind = HeaderKind::kTreeWorm;
@@ -188,8 +244,18 @@ void McastDriver::SendWormsOf(Exec& exec, NodeId sender, Cycles earliest) {
     TraceHost(TraceKind::kSendStart, exec.id, sender, w);
     const Cycles h = nr.host_cpu.Reserve(earliest, hp.o_host) + hp.o_host;
     const Cycles ni = nr.ni_cpu.Reserve(h, hp.o_ni) + hp.o_ni;
+    if (m_.has) {
+      m_.worms->Add();
+      m_.host_sends->Add();
+      m_.host_cycles->Add(hp.o_host);
+      m_.ni_cycles->Add(hp.o_ni);
+    }
     for (int j = 0; j < exec.shape.num_packets; ++j) {
       const Cycles dma_done = nr.io_bus.Reserve(h, dma_dur) + dma_dur;
+      if (m_.has) {
+        m_.io_dma_cycles->Add(dma_dur);
+        m_.io_dma_transfers->Add();
+      }
       auto pkt = MakeBasePacket(exec, j);
       pkt->kind = HeaderKind::kPathWorm;
       pkt->path = worm.route;
@@ -219,6 +285,7 @@ void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
   // Per-message NI receive overhead on the first packet.
   const Cycles ni_done =
       first ? nr.ni_cpu.Reserve(head, hp.o_ni) + hp.o_ni : head;
+  if (m_.has && first) m_.ni_cycles->Add(hp.o_ni);
 
   // Smart-NI forwarding happens at the NI, before/parallel to host DMA.
   // A forwarding node's phase costs both the receive and the send o_ni
@@ -230,12 +297,14 @@ void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
     if (hp.ni_discipline == NiDiscipline::kFpfs) {
       const Cycles fwd_ready =
           first ? nr.ni_cpu.Reserve(ni_done, hp.o_ni) + hp.o_ni : ni_done;
+      if (m_.has && first) m_.ni_cycles->Add(hp.o_ni);
       SmartForward(exec, n, pkt->pkt_index, fwd_ready, tail);
     } else if (st.pkts == exec.shape.num_packets) {
       // Store-and-forward at message granularity: every packet's copies
       // are enqueued only once the whole message is at the NI (the
       // baseline FPFS was shown to beat).
       const Cycles fwd_ready = nr.ni_cpu.Reserve(ni_done, hp.o_ni) + hp.o_ni;
+      if (m_.has) m_.ni_cycles->Add(hp.o_ni);
       for (int j = 0; j < exec.shape.num_packets; ++j)
         SmartForward(exec, n, j, fwd_ready, tail);
     }
@@ -246,11 +315,16 @@ void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
   const Cycles dma_done =
       nr.io_bus.Reserve(std::max(tail, ni_done), dma_dur) + dma_dur;
   st.last_dma = std::max(st.last_dma, dma_done);
+  if (m_.has) {
+    m_.io_dma_cycles->Add(dma_dur);
+    m_.io_dma_transfers->Add();
+  }
 
   if (st.pkts == exec.shape.num_packets) {
     // Whole message in host memory: per-message host receive overhead.
     const Cycles delivered =
         nr.host_cpu.Reserve(st.last_dma, hp.o_host) + hp.o_host;
+    if (m_.has) m_.host_cycles->Add(hp.o_host);
     const std::int64_t id = exec.id;
     engine_.ScheduleAt(delivered, [this, id, n, delivered]() {
       HandleDelivered(id, n, delivered);
@@ -271,13 +345,24 @@ void McastDriver::HandleDelivered(std::int64_t id, NodeId n, Cycles when) {
   --exec.remaining;
   if (exec.delivered) exec.delivered(n, when);
 
-  // Forwarding duties after full receipt.
-  if (exec.plan.scheme == SchemeKind::kUnicastBinomial)
+  // Forwarding duties after full receipt. Each host-level forwarding
+  // step after a delivery is one communication phase of the scheme.
+  if (exec.plan.scheme == SchemeKind::kUnicastBinomial) {
+    if (m_.has && !exec.plan.children[static_cast<std::size_t>(n)].empty())
+      m_.forward_phases->Add();
     SendToChildren(exec, n, when);
-  if (exec.plan.scheme == SchemeKind::kPathWorm)
+  }
+  if (exec.plan.scheme == SchemeKind::kPathWorm) {
+    if (m_.has && exec.worms_by_sender.count(n) > 0)
+      m_.forward_phases->Add();
     SendWormsOf(exec, n, when);
+  }
 
   if (exec.remaining == 0) {
+    if (m_.has) {
+      m_.completed->Add();
+      m_.latency->Add(exec.result.completion - exec.result.start);
+    }
     if (exec.done) exec.done(exec.result);
     // Defer destruction: we may still be inside this exec's call chain.
     engine_.ScheduleAfter(0, [this, id]() { live_.erase(id); });

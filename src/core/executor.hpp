@@ -28,6 +28,7 @@
 
 #include "core/config.hpp"
 #include "mcast/scheme.hpp"
+#include "metrics/metrics.hpp"
 #include "network/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -60,8 +61,12 @@ class McastDriver {
   /// Per-destination notification: (destination, host delivery time).
   using DeliveredFn = std::function<void(NodeId, Cycles)>;
 
+  /// `metrics` (optional, also handed to the owned Fabric) receives the
+  /// host/NI/I-O overhead accounting and per-multicast metrics — see
+  /// docs/metrics.md. A registry is per-trial state: unlike a Tracer it
+  /// never forces serial trial execution.
   McastDriver(Engine& engine, const System& sys, const SimConfig& cfg,
-              Tracer* tracer = nullptr);
+              Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr);
 
   McastDriver(const McastDriver&) = delete;
   McastDriver& operator=(const McastDriver&) = delete;
@@ -126,10 +131,29 @@ class McastDriver {
           TraceEvent{engine_.Now(), kind, mcast_id, 0, actor, detail});
   }
 
+  /// Hot-path metric slots resolved once at construction; `has` false
+  /// (no registry) skips all recording.
+  struct DriverMetrics {
+    bool has = false;
+    Counter* launched = nullptr;         ///< mcast.launched
+    Counter* completed = nullptr;        ///< mcast.completed
+    Histogram* latency = nullptr;        ///< mcast.latency
+    Histogram* dests = nullptr;          ///< mcast.dests
+    Counter* worms = nullptr;            ///< mcast.worms
+    Counter* forward_phases = nullptr;   ///< mcast.forward_phases
+    Counter* host_cycles = nullptr;      ///< host.cycles
+    Counter* host_sends = nullptr;       ///< host.sends
+    Counter* ni_cycles = nullptr;        ///< ni.cycles
+    Counter* ni_forward_copies = nullptr;///< ni.forward_copies
+    Counter* io_dma_cycles = nullptr;    ///< io.dma_cycles
+    Counter* io_dma_transfers = nullptr; ///< io.dma_transfers
+  };
+
   Engine& engine_;
   const System& sys_;
   SimConfig cfg_;
   Tracer* tracer_;
+  DriverMetrics m_;
   std::vector<NodeRuntime> nodes_;
   std::unique_ptr<Fabric> fabric_;
   std::unordered_map<std::int64_t, std::unique_ptr<Exec>> live_;

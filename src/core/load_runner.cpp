@@ -27,10 +27,11 @@ struct TopologyRun {
   long completed_measured = 0;
   SampleSet latencies;
 
-  TopologyRun(const LoadRunSpec& s, const System& system, std::uint64_t seed)
+  TopologyRun(const LoadRunSpec& s, const System& system, std::uint64_t seed,
+              MetricsRegistry* metrics)
       : spec(s),
         sys(system),
-        driver(engine, system, s.cfg, s.tracer),
+        driver(engine, system, s.cfg, s.tracer, metrics),
         scheme(MakeScheme(s.scheme, s.cfg.host)) {
     const double flits = static_cast<double>(s.cfg.message.TotalFlits());
     interarrival_mean =
@@ -141,21 +142,25 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
   IRMC_EXPECT(spec.degree >= 1 &&
               spec.degree < spec.cfg.topology.num_hosts);
 
-  const bool serial = spec.tracer != nullptr;
-  if (serial && ParallelThreads() > 1)
-    std::fprintf(stderr,
-                 "irmcsim: tracer attached, forcing serial trial "
-                 "execution (IRMC_THREADS=1)\n");
+  // Tracers force serial; metrics never do (per-trial registries).
+  const bool serial = TracerForcesSerial(spec.tracer);
 
   // Trial = one open-loop topology replica; it owns the Engine, System,
-  // McastDriver, and per-host Rng streams for its replica.
+  // McastDriver, per-host Rng streams, and MetricsRegistry for its
+  // replica.
   const auto body = [&spec](const TrialContext& ctx) {
+    TrialOutcome out;
+    MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
     const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed);
     TopologyRun run(spec, *sys,
                     spec.cfg.seed * 104729 +
-                        static_cast<std::uint64_t>(ctx.trial_index));
+                        static_cast<std::uint64_t>(ctx.trial_index),
+                    reg);
     run.Run();
-    TrialOutcome out;
+    if (reg) {
+      run.engine.CollectMetrics(*reg);
+      run.driver.fabric().CollectMetrics(run.engine.Now());
+    }
     out.completed = run.completed_measured;
     out.launched = run.launched_measured;
     out.util_sum = run.driver.fabric().MaxLinkUtilization(run.engine.Now());
@@ -164,8 +169,7 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
     return out;
   };
 
-  const TrialOutcome merged =
-      RunTrials(spec.cfg, spec.topologies, body, serial);
+  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body, serial);
   const SampleSet& all = merged.samples;
   const long completed = merged.completed;
   const long launched = merged.launched;
@@ -198,6 +202,7 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
   out.saturated = unfinished_frac > spec.saturation_unfinished_frac ||
                   out.mean_latency > spec.saturation_latency ||
                   all.count() == 0;
+  out.metrics = std::move(merged.metrics);
   return out;
 }
 

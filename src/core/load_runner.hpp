@@ -18,6 +18,7 @@
 
 #include "common/stats.hpp"
 #include "core/config.hpp"
+#include "metrics/metrics.hpp"
 
 #include "common/types.hpp"
 
@@ -61,6 +62,11 @@ struct LoadRunSpec {
   /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
   /// (logged to stderr) since the tracer is not shared across trials.
   Tracer* tracer = nullptr;
+  /// Always-on metrics: each topology replica records into its own
+  /// MetricsRegistry, merged in trial-index order into
+  /// LoadRunResult::metrics. Never forces serial execution. Off only for
+  /// overhead measurement (bench/perfE).
+  bool collect_metrics = true;
 };
 
 struct LoadRunResult {
@@ -81,6 +87,8 @@ struct LoadRunResult {
   /// Simulation events executed across all topology replicas (harness
   /// speed metric — see bench/perfE_simspeed.cpp).
   std::uint64_t events_executed = 0;
+  /// Merged per-trial metrics (empty when collect_metrics is false).
+  MetricsRegistry metrics;
 };
 
 LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec);

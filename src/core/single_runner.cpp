@@ -10,14 +10,19 @@
 namespace irmc {
 
 MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
-                         McastPlan plan, Tracer* tracer) {
+                         McastPlan plan, Tracer* tracer,
+                         MetricsRegistry* metrics) {
   Engine engine;
-  McastDriver driver(engine, sys, cfg, tracer);
+  McastDriver driver(engine, sys, cfg, tracer, metrics);
   std::optional<MulticastResult> result;
   driver.Launch(std::move(plan), 0,
                 [&result](const MulticastResult& r) { result = r; });
   engine.RunToQuiescence();
   IRMC_ENSURE(result.has_value());
+  if (metrics) {
+    engine.CollectMetrics(*metrics);
+    driver.fabric().CollectMetrics(engine.Now());
+  }
   return *result;
 }
 
@@ -25,18 +30,16 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
   IRMC_EXPECT(spec.multicast_size >= 1);
   IRMC_EXPECT(spec.multicast_size < spec.cfg.topology.num_hosts);
 
-  const bool serial = spec.tracer != nullptr;
-  if (serial && ParallelThreads() > 1)
-    std::fprintf(stderr,
-                 "irmcsim: tracer attached, forcing serial trial "
-                 "execution (IRMC_THREADS=1)\n");
+  // Tracers force serial; metrics never do (per-trial registries).
+  const bool serial = TracerForcesSerial(spec.tracer);
 
   // Trial = one topology: build the system for the derived seed, then
   // draw and play samples_per_topology independent multicasts. The
-  // trial owns its Engine, System, McastDriver, and Rng — nothing
-  // mutable crosses trial boundaries.
+  // trial owns its Engine, System, McastDriver, Rng, and
+  // MetricsRegistry — nothing mutable crosses trial boundaries.
   const auto body = [&spec](const TrialContext& ctx) {
     TrialOutcome out;
+    MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
     const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
     const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed,
                                    spec.root_policy);
@@ -54,20 +57,20 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
       McastPlan plan = scheme->Plan(*sys, src, dests, spec.cfg.message,
                                     spec.cfg.headers);
       const MulticastResult r =
-          PlayOnce(*sys, spec.cfg, std::move(plan), spec.tracer);
+          PlayOnce(*sys, spec.cfg, std::move(plan), spec.tracer, reg);
       out.latency.Add(static_cast<double>(r.Latency()));
     }
     return out;
   };
 
-  const TrialOutcome merged =
-      RunTrials(spec.cfg, spec.topologies, body, serial);
+  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body, serial);
 
   SingleRunResult out;
   out.samples = static_cast<int>(merged.latency.count());
   out.mean_latency = merged.latency.mean();
   out.min_latency = merged.latency.min();
   out.max_latency = merged.latency.max();
+  out.metrics = std::move(merged.metrics);
   return out;
 }
 

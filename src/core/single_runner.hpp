@@ -32,6 +32,11 @@ struct SingleRunSpec {
   /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
   /// (logged to stderr) since the tracer is not shared across trials.
   Tracer* tracer = nullptr;
+  /// Always-on metrics: each trial records into its own MetricsRegistry,
+  /// merged in trial-index order into SingleRunResult::metrics. Never
+  /// forces serial execution. Off only for overhead measurement
+  /// (bench/perfE) — set false to skip all recording.
+  bool collect_metrics = true;
 };
 
 struct SingleRunResult {
@@ -39,6 +44,8 @@ struct SingleRunResult {
   double min_latency = 0.0;
   double max_latency = 0.0;
   int samples = 0;
+  /// Merged per-trial metrics (empty when collect_metrics is false).
+  MetricsRegistry metrics;
 };
 
 /// Runs one scheme at one parameter point.
@@ -46,7 +53,10 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec);
 
 /// Runs one planned multicast on a fresh driver over an existing system;
 /// returns the full result (building block for tests and examples).
+/// `metrics` (optional) receives driver/fabric/engine metrics for the
+/// playout.
 MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
-                         McastPlan plan, Tracer* tracer = nullptr);
+                         McastPlan plan, Tracer* tracer = nullptr,
+                         MetricsRegistry* metrics = nullptr);
 
 }  // namespace irmc

@@ -1,5 +1,6 @@
 #include "core/trial.hpp"
 
+#include <cstdio>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -14,6 +15,16 @@ void TrialOutcome::Merge(const TrialOutcome& other) {
   completed += other.completed;
   util_sum += other.util_sum;
   events += other.events;
+  metrics.Merge(other.metrics);
+}
+
+bool TracerForcesSerial(const Tracer* tracer) {
+  if (tracer == nullptr) return false;
+  if (ParallelThreads() > 1)
+    std::fprintf(stderr,
+                 "irmcsim: tracer attached, forcing serial trial "
+                 "execution (IRMC_THREADS=1)\n");
+  return true;
 }
 
 TrialOutcome RunTrials(const SimConfig& cfg, int count, const TrialFn& fn,

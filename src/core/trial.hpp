@@ -19,8 +19,11 @@
 
 #include "common/stats.hpp"
 #include "core/config.hpp"
+#include "metrics/metrics.hpp"
 
 namespace irmc {
+
+class Tracer;
 
 /// Everything a trial body receives: the shared (read-only) config, its
 /// index in the sweep point, and the topology seed derived from it.
@@ -43,6 +46,10 @@ struct TrialOutcome {
   long completed = 0;       ///< measured multicasts / writes finished
   double util_sum = 0.0;    ///< per-trial max link utilization (summed)
   std::uint64_t events = 0; ///< engine events executed
+  /// Per-trial metric registry (counters/gauges/histograms). Merged in
+  /// trial-index order like everything else, so the aggregate registry
+  /// — and its serialised JSON — is bit-identical for any IRMC_THREADS.
+  MetricsRegistry metrics;
 
   void Merge(const TrialOutcome& other);
 };
@@ -54,5 +61,13 @@ using TrialFn = std::function<TrialOutcome(const TrialContext&)>;
 /// attached) and returns the outcomes merged in trial-index order.
 TrialOutcome RunTrials(const SimConfig& cfg, int count, const TrialFn& fn,
                        bool force_serial = false);
+
+/// Executor-level serial fallback for tracer-attached runs: a single
+/// Tracer cannot record from concurrent trials, so a non-null tracer
+/// returns true (and logs a stderr notice when more than one thread
+/// would otherwise run). Metrics collection deliberately does NOT route
+/// through this: each trial owns its own MetricsRegistry and the merge
+/// is trial-index-ordered, so metrics-enabled runs stay parallel.
+bool TracerForcesSerial(const Tracer* tracer);
 
 }  // namespace irmc

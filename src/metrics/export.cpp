@@ -1,0 +1,156 @@
+#include "metrics/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace irmc {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatInt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// {"count":..,"sum":..,"min":..,"max":..,"bins":[[lo,hi,n],...]}
+/// (non-empty bins only; min/max omitted when the histogram is empty).
+std::string HistogramJson(const Histogram& h) {
+  std::string out = "{\"count\":" + FormatInt(h.count()) +
+                    ",\"sum\":" + FormatInt(h.sum());
+  if (h.count() > 0)
+    out += ",\"min\":" + FormatInt(h.min()) + ",\"max\":" + FormatInt(h.max());
+  out += ",\"bins\":[";
+  bool first = true;
+  for (int b = 0; b < Histogram::kBins; ++b) {
+    if (h.bin(b) == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[' + FormatInt(Histogram::BinLower(b)) + ',' +
+           FormatInt(Histogram::BinUpper(b)) + ',' + FormatInt(h.bin(b)) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string GaugeJson(const Gauge& g) {
+  return std::string("{\"mode\":\"") + ToString(g.mode) +
+         "\",\"value\":" + FormatDouble(g.value) + '}';
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& reg) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + FormatInt(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + GaugeJson(g);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + HistogramJson(h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToJsonLines(const MetricsRegistry& reg) {
+  std::string out;
+  for (const auto& [name, c] : reg.counters())
+    out += "{\"kind\":\"counter\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + FormatInt(c.value) + "}\n";
+  for (const auto& [name, g] : reg.gauges())
+    out += "{\"kind\":\"gauge\",\"name\":\"" + JsonEscape(name) +
+           "\",\"mode\":\"" + ToString(g.mode) +
+           "\",\"value\":" + FormatDouble(g.value) + "}\n";
+  for (const auto& [name, h] : reg.histograms())
+    out += "{\"kind\":\"histogram\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + HistogramJson(h) + "}\n";
+  return out;
+}
+
+std::string ToCsv(const MetricsRegistry& reg) {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, c] : reg.counters())
+    out += "counter," + name + ",value," + FormatInt(c.value) + '\n';
+  for (const auto& [name, g] : reg.gauges())
+    out += "gauge," + name + ',' + ToString(g.mode) + ',' +
+           FormatDouble(g.value) + '\n';
+  for (const auto& [name, h] : reg.histograms()) {
+    out += "histogram," + name + ",count," + FormatInt(h.count()) + '\n';
+    out += "histogram," + name + ",sum," + FormatInt(h.sum()) + '\n';
+    if (h.count() > 0) {
+      out += "histogram," + name + ",min," + FormatInt(h.min()) + '\n';
+      out += "histogram," + name + ",max," + FormatInt(h.max()) + '\n';
+    }
+    for (int b = 0; b < Histogram::kBins; ++b) {
+      if (h.bin(b) == 0) continue;
+      out += "histogram," + name + ",bin_" +
+             FormatInt(Histogram::BinLower(b)) + '_' +
+             FormatInt(Histogram::BinUpper(b)) + ',' + FormatInt(h.bin(b)) +
+             '\n';
+    }
+  }
+  return out;
+}
+
+std::string SerializeForPath(const MetricsRegistry& reg,
+                             const std::string& path) {
+  const auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".csv")) return ToCsv(reg);
+  if (ends_with(".jsonl")) return ToJsonLines(reg);
+  return ToJson(reg);
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace irmc

@@ -1,0 +1,34 @@
+// Machine-readable serialisation of a MetricsRegistry.
+//
+// Three formats, all with names sorted (std::map order) so identical
+// registries serialise to identical bytes:
+//   JSON  — one object: {"counters":{...},"gauges":{...},"histograms":{...}}
+//   JSONL — one metric per line ({"kind":...,"name":...,...}), for
+//           appending per-point sidecar records from the benches
+//   CSV   — kind,name,field,value rows
+// Doubles print with %.17g (round-trip exact), so equal doubles always
+// produce equal text.
+#pragma once
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace irmc {
+
+std::string ToJson(const MetricsRegistry& reg);
+std::string ToJsonLines(const MetricsRegistry& reg);
+std::string ToCsv(const MetricsRegistry& reg);
+
+/// Serialises per the file extension: .csv -> CSV, .jsonl -> JSONL,
+/// anything else -> JSON.
+std::string SerializeForPath(const MetricsRegistry& reg,
+                             const std::string& path);
+
+/// Writes `content` to `path` (truncating). Returns false on I/O error.
+bool WriteFile(const std::string& path, const std::string& content);
+
+/// JSON string escaping for metric/sidecar labels.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace irmc

@@ -1,0 +1,109 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/expect.hpp"
+
+namespace irmc {
+
+const char* ToString(GaugeMode mode) {
+  switch (mode) {
+    case GaugeMode::kSum: return "sum";
+    case GaugeMode::kMax: return "max";
+    case GaugeMode::kMin: return "min";
+  }
+  return "?";
+}
+
+void Gauge::Set(double v) {
+  if (!set) {
+    value = v;
+    set = true;
+    return;
+  }
+  switch (mode) {
+    case GaugeMode::kSum: value += v; break;
+    case GaugeMode::kMax: value = std::max(value, v); break;
+    case GaugeMode::kMin: value = std::min(value, v); break;
+  }
+}
+
+void Gauge::Merge(const Gauge& other) {
+  IRMC_EXPECT(mode == other.mode);
+  if (other.set) Set(other.value);
+}
+
+int Histogram::BinOf(std::int64_t v) {
+  if (v <= 0) return 0;
+  // bit_width(v) = floor(log2 v) + 1, so v in [2^(b-1), 2^b) -> bin b.
+  return std::bit_width(static_cast<std::uint64_t>(v));
+}
+
+std::int64_t Histogram::BinLower(int b) {
+  IRMC_EXPECT(b >= 0 && b < kBins);
+  return b == 0 ? 0 : std::int64_t{1} << (b - 1);
+}
+
+std::int64_t Histogram::BinUpper(int b) {
+  IRMC_EXPECT(b >= 0 && b < kBins);
+  return std::int64_t{1} << b;
+}
+
+void Histogram::Add(std::int64_t v) {
+  bins_[static_cast<std::size_t>(BinOf(v))] += 1;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] += other.bins_[b];
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, GaugeMode mode) {
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second.mode = mode;
+  IRMC_EXPECT(it->second.mode == mode);
+  return it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return histograms_[name];
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_)
+    counters_[name].value += c.value;
+  for (const auto& [name, g] : other.gauges_)
+    GetGauge(name, g.mode).Merge(g);
+  for (const auto& [name, h] : other.histograms_)
+    histograms_[name].Merge(h);
+}
+
+}  // namespace irmc

@@ -1,0 +1,115 @@
+// Always-on metrics: counters, gauges, and log-binned histograms.
+//
+// Every Trial owns one MetricsRegistry; the sim engine, fabric, flit
+// engine, and McastDriver resolve raw Counter/Gauge/Histogram pointers
+// from it once at construction, so a hot-path record is a guarded
+// integer add — cheap enough to leave enabled by default (bench/perfE
+// measures the overhead and flags anything above 5%).
+//
+// Determinism contract: every metric value is either an integer
+// (counters, histogram bins/sum/min/max) or a double combined by an
+// order-independent operation (gauge max/min) or summed in trial-index
+// order by TrialOutcome::Merge. Exports sort by name. A parallel sweep
+// therefore serialises to byte-identical JSON for any IRMC_THREADS
+// value — unlike the Tracer, which forces serial execution, a registry
+// never does (each trial owns its own and the merge is ordered).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace irmc {
+
+/// Monotonic event/quantity count. Merge = sum (exact, associative).
+struct Counter {
+  std::int64_t value = 0;
+
+  void Add(std::int64_t delta = 1) { value += delta; }
+};
+
+/// How two gauges combine when registries merge.
+enum class GaugeMode {
+  kSum,  ///< totals (merged in trial-index order -> deterministic)
+  kMax,  ///< high-water marks (order-independent)
+  kMin,  ///< low-water marks (order-independent)
+};
+
+const char* ToString(GaugeMode mode);
+
+/// Point-in-time measurement. `set` distinguishes "never recorded" from
+/// a recorded zero so kMax/kMin merges ignore untouched gauges.
+struct Gauge {
+  double value = 0.0;
+  bool set = false;
+  GaugeMode mode = GaugeMode::kSum;
+
+  void Set(double v);           ///< combine `v` into the gauge per mode
+  void Merge(const Gauge& other);
+};
+
+/// Log2-binned histogram of non-negative integer samples (cycles,
+/// fan-outs, flit counts). Bin 0 holds values <= 0; bin b >= 1 holds
+/// [2^(b-1), 2^b). All state is integral, so Merge is exact and
+/// associative.
+class Histogram {
+ public:
+  static constexpr int kBins = 64;
+
+  void Add(std::int64_t v);
+  void Merge(const Histogram& other);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return min_; }  ///< requires count() > 0
+  std::int64_t max() const { return max_; }  ///< requires count() > 0
+  double Mean() const;
+  std::int64_t bin(int b) const { return bins_.at(static_cast<std::size_t>(b)); }
+
+  /// Bin index a value lands in.
+  static int BinOf(std::int64_t v);
+  /// Inclusive lower edge of a bin (0 for bin 0).
+  static std::int64_t BinLower(int b);
+  /// Exclusive upper edge of a bin.
+  static std::int64_t BinUpper(int b);
+
+ private:
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::array<std::int64_t, kBins> bins_{};
+};
+
+/// Named metric store. Get* interns the name on first use and returns a
+/// reference that stays valid for the registry's lifetime (node-based
+/// map), so callers resolve once and record through the pointer.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name, GaugeMode mode = GaugeMode::kSum);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Union-merge: counters add, gauges combine per their mode (modes
+  /// must agree), histogram bins add. Applied in trial-index order by
+  /// TrialOutcome::Merge, which makes the result thread-count-invariant.
+  void Merge(const MetricsRegistry& other);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool Empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace irmc

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "network/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -54,8 +55,12 @@ class Fabric {
   using DeliverFn =
       std::function<void(NodeId, const PacketPtr&, Cycles, Cycles)>;
 
+  /// `metrics` (optional) receives fabric counters/histograms — see
+  /// docs/metrics.md for the catalogue. Unlike a Tracer, a registry is
+  /// per-trial state and never forces serial trial execution.
   Fabric(Engine& engine, const System& sys, const NetParams& params,
-         DeliverFn deliver, Tracer* tracer = nullptr);
+         DeliverFn deliver, Tracer* tracer = nullptr,
+         MetricsRegistry* metrics = nullptr);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -84,6 +89,12 @@ class Fabric {
 
   /// Hop log of a packet (only populated when params.record_routes).
   static const std::vector<HopRecord>* HopsOf(const Packet& pkt);
+
+  /// Folds end-of-run channel state into the registry: per-link busy
+  /// cycles, a link-utilization histogram (percent, switch-to-switch
+  /// links), the hottest-link gauge, and input-buffer wait high-water.
+  /// No-op without a registry. Call once when the trial's run ends.
+  void CollectMetrics(Cycles now);
 
  private:
   struct Buffered {
@@ -163,6 +174,16 @@ class Fabric {
   NetParams params_;
   DeliverFn deliver_;
   Tracer* tracer_;
+  MetricsRegistry* metrics_;
+  // Hot-path metric slots, resolved once at construction (null = off).
+  Counter* m_flits_ = nullptr;          ///< fabric.flits_sent
+  Counter* m_switched_ = nullptr;       ///< fabric.packets_switched
+  Counter* m_injected_ = nullptr;       ///< fabric.packets_injected
+  Counter* m_replications_ = nullptr;   ///< fabric.replications
+  Counter* m_host_deliveries_ = nullptr;///< fabric.host_deliveries
+  Counter* m_blocked_ = nullptr;        ///< fabric.blocked_cycles
+  Histogram* m_fanout_ = nullptr;       ///< fabric.route_fanout
+  Histogram* m_header_flits_ = nullptr; ///< fabric.header_flits
   int ports_;
 
   std::vector<Channel> channels_;           // switch out-channels, then injections

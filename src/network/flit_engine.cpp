@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/expect.hpp"
+#include "metrics/metrics.hpp"
 
 namespace irmc {
 
@@ -67,6 +68,10 @@ struct FlitEngine::Impl {
   const System& sys;
   FlitEngineParams params;
   int ports;
+  MetricsRegistry* metrics = nullptr;
+  std::int64_t m_flits_moved = 0;
+  std::int64_t m_blocked_cycles = 0;   ///< credit stalls (true wormhole blocking)
+  std::int64_t m_max_occupancy = 0;    ///< input-buffer flits high-water
 
   std::vector<InputPort> inputs;  // [switch*ports + port]
   std::vector<Channel> channels;  // switch out channels, then injections
@@ -254,6 +259,8 @@ struct FlitEngine::Impl {
         }
         Worm& w = worms[static_cast<std::size_t>(b.dst_worm)];
         ++w.received;
+        m_max_occupancy = std::max(
+            m_max_occupancy, static_cast<std::int64_t>(w.received - w.freed));
       }
     }
     in_flight.resize(kept);
@@ -348,15 +355,22 @@ struct FlitEngine::Impl {
       if (c.dst_port_index >= 0) {
         InputPort& ip = inputs[static_cast<std::size_t>(c.dst_port_index)];
         if (b.dst_worm == -1) {
-          if (ip.resident_worm != -1) continue;  // port occupied
+          if (ip.resident_worm != -1) {
+            ++m_blocked_cycles;  // port occupied
+            continue;
+          }
         } else {
           const Worm& dw = worms[static_cast<std::size_t>(b.dst_worm)];
-          if (dw.received - dw.freed >= ip.capacity) continue;
+          if (dw.received - dw.freed >= ip.capacity) {
+            ++m_blocked_cycles;  // downstream buffer full
+            continue;
+          }
           // Plus the flits already in flight toward it this cycle.
         }
       }
       const bool is_head = (b.consumed == 0);
       ++b.consumed;
+      ++m_flits_moved;
       const bool is_tail = (b.consumed == b.len);
       in_flight.push_back(
           {InFlight{c.active_branch, is_head, is_tail}, now + params.link_delay});
@@ -380,8 +394,11 @@ struct FlitEngine::Impl {
   }
 };
 
-FlitEngine::FlitEngine(const System& sys, const FlitEngineParams& params)
-    : impl_(std::make_shared<Impl>(sys, params)) {}
+FlitEngine::FlitEngine(const System& sys, const FlitEngineParams& params,
+                       MetricsRegistry* metrics)
+    : impl_(std::make_shared<Impl>(sys, params)) {
+  impl_->metrics = metrics;
+}
 
 void FlitEngine::Inject(NodeId n, PacketPtr pkt, Cycles ready) {
   IRMC_EXPECT(pkt != nullptr);
@@ -417,6 +434,15 @@ std::vector<FlitDelivery> FlitEngine::Run(Cycles max_cycles) {
     if (!busy()) break;
   }
   IRMC_ENSURE(now <= max_cycles && "flit engine hit the cycle cap");
+  if (im.metrics) {
+    im.metrics->GetCounter("flit.flits_moved").Add(im.m_flits_moved);
+    im.metrics->GetCounter("flit.blocked_cycles").Add(im.m_blocked_cycles);
+    im.metrics->GetCounter("flit.cycles_run").Add(now);
+    im.metrics->GetCounter("flit.deliveries")
+        .Add(static_cast<std::int64_t>(im.deliveries.size()));
+    im.metrics->GetGauge("flit.max_buffer_occupancy", GaugeMode::kMax)
+        .Set(static_cast<double>(im.m_max_occupancy));
+  }
   return im.deliveries;
 }
 

@@ -22,6 +22,8 @@
 
 namespace irmc {
 
+class MetricsRegistry;
+
 struct FlitDelivery {
   NodeId node = kInvalidNode;
   Cycles head_arrive = 0;
@@ -37,7 +39,11 @@ struct FlitEngineParams {
 
 class FlitEngine {
  public:
-  FlitEngine(const System& sys, const FlitEngineParams& params);
+  /// `metrics` (optional) receives `flit.*` counters when Run() ends:
+  /// flits moved, credit-stall (blocked) cycles, cycles stepped,
+  /// deliveries, and the input-buffer occupancy high-water gauge.
+  FlitEngine(const System& sys, const FlitEngineParams& params,
+             MetricsRegistry* metrics = nullptr);
 
   /// Queue a packet for injection from node n's NI at `ready`.
   void Inject(NodeId n, PacketPtr pkt, Cycles ready);

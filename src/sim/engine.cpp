@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace irmc {
 
 Cycles Engine::RunToQuiescence() {
@@ -13,6 +15,13 @@ bool Engine::RunUntil(Cycles deadline) {
     queue_.RunNext();
   }
   return true;
+}
+
+void Engine::CollectMetrics(MetricsRegistry& reg) const {
+  reg.GetCounter("sim.events").Add(
+      static_cast<std::int64_t>(events_executed()));
+  reg.GetGauge("sim.end_time", GaugeMode::kMax)
+      .Set(static_cast<double>(Now()));
 }
 
 }  // namespace irmc

@@ -7,6 +7,8 @@
 
 namespace irmc {
 
+class MetricsRegistry;
+
 /// Thin facade over EventQueue used by all models. Provides relative
 /// scheduling and bounded runs (run-until-time / run-until-quiescent).
 class Engine {
@@ -32,6 +34,12 @@ class Engine {
 
   std::uint64_t events_executed() const { return queue_.executed(); }
   bool Idle() const { return queue_.Empty(); }
+
+  /// Folds this engine's run totals into `reg`: `sim.events` (events
+  /// dispatched) and `sim.end_time` (final simulated time, max across
+  /// trials). Called once per trial, not per event — the hot loop stays
+  /// untouched.
+  void CollectMetrics(MetricsRegistry& reg) const;
 
  private:
   EventQueue queue_;

@@ -17,11 +17,11 @@ namespace {
 class DsmRun {
  public:
   DsmRun(const SimConfig& cfg, SchemeKind scheme, const DsmParams& params,
-         const System& sys, std::uint64_t seed)
+         const System& sys, std::uint64_t seed, MetricsRegistry* metrics)
       : cfg_(cfg),
         params_(params),
         sys_(sys),
-        driver_(engine_, sys, cfg),
+        driver_(engine_, sys, cfg, nullptr, metrics),
         scheme_(MakeScheme(scheme, cfg.host)),
         rng_(seed) {
     IRMC_EXPECT(params.sharers_per_line < sys.num_nodes());
@@ -41,6 +41,11 @@ class DsmRun {
   }
 
   void Run() { engine_.RunUntil(params_.horizon * 2); }
+
+  void CollectMetrics(MetricsRegistry& reg) {
+    engine_.CollectMetrics(reg);
+    driver_.fabric().CollectMetrics(engine_.Now());
+  }
 
   const SampleSet& latencies() const { return latencies_; }
   long started() const { return started_; }
@@ -145,14 +150,18 @@ DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
                              const DsmParams& params) {
   // Trial = one DSM topology replica (core/trial.hpp): replicas run on
   // the parallel executor and merge in trial-index order.
-  const TrialOutcome merged = RunTrials(
+  TrialOutcome merged = RunTrials(
       cfg, params.topologies, [&](const TrialContext& ctx) {
+        TrialOutcome out;
+        MetricsRegistry* reg =
+            params.collect_metrics ? &out.metrics : nullptr;
         const auto sys = System::Build(cfg.topology, ctx.derived_seed);
         DsmRun run(cfg, scheme, params, *sys,
                    cfg.seed * 6151 +
-                       static_cast<std::uint64_t>(ctx.trial_index));
+                       static_cast<std::uint64_t>(ctx.trial_index),
+                   reg);
         run.Run();
-        TrialOutcome out;
+        if (reg) run.CollectMetrics(*reg);
         out.launched = run.started();
         out.completed = run.completed();
         out.samples = run.latencies();
@@ -166,6 +175,7 @@ DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
     out.mean_write_latency = merged.samples.Mean();
     out.p95_write_latency = merged.samples.Quantile(0.95);
   }
+  out.metrics = std::move(merged.metrics);
   return out;
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/stats.hpp"
 #include "core/config.hpp"
+#include "metrics/metrics.hpp"
 
 namespace irmc {
 
@@ -29,6 +30,9 @@ struct DsmParams {
   Cycles warmup = 10'000;
   Cycles horizon = 150'000;
   int topologies = 3;
+  /// Always-on metrics: each replica records into its own registry,
+  /// merged in trial-index order into DsmResult::metrics.
+  bool collect_metrics = true;
 };
 
 struct DsmResult {
@@ -36,6 +40,8 @@ struct DsmResult {
   double p95_write_latency = 0.0;
   long writes_completed = 0;
   long writes_started = 0;
+  /// Merged per-trial metrics (empty when collect_metrics is false).
+  MetricsRegistry metrics;
 };
 
 /// Runs the workload with `scheme` carrying the invalidations (acks are

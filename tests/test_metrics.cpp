@@ -1,0 +1,266 @@
+// Metrics subsystem: histogram bin edges, merge associativity, export
+// formats, and the determinism contract — a metrics-enabled parallel
+// sweep must serialise to byte-identical JSON for any IRMC_THREADS.
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/load_runner.hpp"
+#include "core/parallel.hpp"
+#include "core/single_runner.hpp"
+#include "metrics/export.hpp"
+#include "workloads/dsm.hpp"
+
+namespace irmc {
+namespace {
+
+/// Restores the environment/default thread resolution on scope exit.
+struct ThreadsGuard {
+  ~ThreadsGuard() { SetParallelThreads(0); }
+};
+
+TEST(Counter, AddsAndDefaults) {
+  Counter c;
+  EXPECT_EQ(c.value, 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value, 42);
+}
+
+TEST(Histogram, BinEdges) {
+  // Bin 0: v <= 0. Bin b >= 1: [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BinOf(-5), 0);
+  EXPECT_EQ(Histogram::BinOf(0), 0);
+  EXPECT_EQ(Histogram::BinOf(1), 1);
+  EXPECT_EQ(Histogram::BinOf(2), 2);
+  EXPECT_EQ(Histogram::BinOf(3), 2);
+  EXPECT_EQ(Histogram::BinOf(4), 3);
+  EXPECT_EQ(Histogram::BinOf(7), 3);
+  EXPECT_EQ(Histogram::BinOf(8), 4);
+  EXPECT_EQ(Histogram::BinOf(1023), 10);
+  EXPECT_EQ(Histogram::BinOf(1024), 11);
+
+  for (int b = 1; b < Histogram::kBins - 1; ++b) {
+    // Every bin's edges are self-consistent: the lower edge lands in the
+    // bin, the value just below the upper edge lands in the bin, and the
+    // upper edge itself lands in the next.
+    EXPECT_EQ(Histogram::BinOf(Histogram::BinLower(b)), b) << b;
+    EXPECT_EQ(Histogram::BinOf(Histogram::BinUpper(b) - 1), b) << b;
+    EXPECT_EQ(Histogram::BinOf(Histogram::BinUpper(b)), b + 1) << b;
+  }
+  EXPECT_EQ(Histogram::BinLower(0), 0);
+  EXPECT_EQ(Histogram::BinLower(1), 1);
+  EXPECT_EQ(Histogram::BinLower(2), 2);
+  EXPECT_EQ(Histogram::BinLower(3), 4);
+  EXPECT_EQ(Histogram::BinUpper(3), 8);
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram h;
+  for (std::int64_t v : {5, 1, 9, 9, 0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 24);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_DOUBLE_EQ(h.Mean(), 24.0 / 5.0);
+  EXPECT_EQ(h.bin(0), 1);  // the 0
+  EXPECT_EQ(h.bin(1), 1);  // the 1
+  EXPECT_EQ(h.bin(3), 1);  // the 5
+  EXPECT_EQ(h.bin(4), 2);  // the two 9s
+}
+
+TEST(Gauge, ModesCombine) {
+  Gauge mx{0.0, false, GaugeMode::kMax};
+  mx.Set(2.0);
+  mx.Set(1.0);
+  EXPECT_DOUBLE_EQ(mx.value, 2.0);
+  Gauge mn{0.0, false, GaugeMode::kMin};
+  mn.Set(2.0);
+  mn.Set(1.0);
+  EXPECT_DOUBLE_EQ(mn.value, 1.0);
+  Gauge sm{0.0, false, GaugeMode::kSum};
+  sm.Set(2.0);
+  sm.Set(1.0);
+  EXPECT_DOUBLE_EQ(sm.value, 3.0);
+}
+
+TEST(Gauge, MergeIgnoresUnsetSides) {
+  Gauge a{0.0, false, GaugeMode::kMax};
+  Gauge b{7.0, true, GaugeMode::kMax};
+  a.Merge(b);
+  EXPECT_TRUE(a.set);
+  EXPECT_DOUBLE_EQ(a.value, 7.0);
+  Gauge untouched{0.0, false, GaugeMode::kMax};
+  a.Merge(untouched);
+  EXPECT_DOUBLE_EQ(a.value, 7.0);
+}
+
+/// Builds a registry with all three metric kinds from a small seed.
+MetricsRegistry MakeRegistry(std::int64_t seed) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.alpha").Add(seed);
+  reg.GetCounter("c.beta").Add(seed * 3 + 1);
+  reg.GetGauge("g.max", GaugeMode::kMax).Set(static_cast<double>(seed % 7));
+  reg.GetGauge("g.sum", GaugeMode::kSum).Set(static_cast<double>(seed));
+  Histogram& h = reg.GetHistogram("h.lat");
+  for (std::int64_t v = 0; v < seed % 50 + 3; ++v) h.Add(v * seed % 1000);
+  return reg;
+}
+
+TEST(MetricsRegistry, MergeIsAssociative) {
+  // (a + b) + c == a + (b + c), byte-for-byte in every export format.
+  const MetricsRegistry a = MakeRegistry(11);
+  const MetricsRegistry b = MakeRegistry(29);
+  const MetricsRegistry c = MakeRegistry(97);
+
+  MetricsRegistry left = a;   // (a+b)+c
+  left.Merge(b);
+  left.Merge(c);
+  MetricsRegistry bc = b;     // a+(b+c)
+  bc.Merge(c);
+  MetricsRegistry right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(ToJson(left), ToJson(right));
+  EXPECT_EQ(ToJsonLines(left), ToJsonLines(right));
+  EXPECT_EQ(ToCsv(left), ToCsv(right));
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndBins) {
+  MetricsRegistry a = MakeRegistry(5);
+  const MetricsRegistry b = MakeRegistry(5);
+  a.Merge(b);
+  EXPECT_EQ(a.counters().at("c.alpha").value, 10);
+  EXPECT_EQ(a.histograms().at("h.lat").count(),
+            2 * b.histograms().at("h.lat").count());
+  // Disjoint names union in.
+  MetricsRegistry other;
+  other.GetCounter("c.gamma").Add(2);
+  a.Merge(other);
+  EXPECT_EQ(a.counters().at("c.gamma").value, 2);
+  EXPECT_EQ(a.counters().at("c.alpha").value, 10);
+}
+
+TEST(MetricsRegistry, StableReferencesAcrossInterning) {
+  MetricsRegistry reg;
+  Counter* first = &reg.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "k";  // built in two steps: GCC 12 -Wrestrict FP
+    key += std::to_string(i);
+    reg.GetCounter(key).Add();
+  }
+  EXPECT_EQ(first, &reg.GetCounter("a"));  // node-based map: no rehash moves
+  first->Add(3);
+  EXPECT_EQ(reg.counters().at("a").value, 3);
+}
+
+TEST(Export, FormatsCoverAllKinds) {
+  const MetricsRegistry reg = MakeRegistry(13);
+  const std::string json = ToJson(reg);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.alpha\":13"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  const std::string jsonl = ToJsonLines(reg);
+  EXPECT_NE(jsonl.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"histogram\""), std::string::npos);
+  const std::string csv = ToCsv(reg);
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+
+  EXPECT_EQ(SerializeForPath(reg, "x.csv"), csv);
+  EXPECT_EQ(SerializeForPath(reg, "x.jsonl"), jsonl);
+  EXPECT_EQ(SerializeForPath(reg, "x.json"), json);
+  EXPECT_EQ(SerializeForPath(reg, "x"), json);
+}
+
+TEST(Export, EmptyRegistryIsStable) {
+  const MetricsRegistry reg;
+  EXPECT_EQ(ToJson(reg), ToJson(MetricsRegistry{}));
+  EXPECT_NE(ToJson(reg).find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(Export, JsonEscapeControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
+}
+
+// ---------------------------------------------------------------------
+// Determinism: metrics-enabled sweeps serialise to identical bytes for
+// any thread count, across all three runners.
+
+std::string SingleSweepJson(int threads) {
+  SetParallelThreads(threads);
+  SingleRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.multicast_size = 6;
+  spec.topologies = 8;
+  spec.samples_per_topology = 2;
+  return ToJson(RunSingleMulticast(spec).metrics);
+}
+
+TEST(MetricsDeterminism, SingleRunnerThreadCountInvariant) {
+  ThreadsGuard guard;
+  const std::string serial = SingleSweepJson(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("mcast.completed"), std::string::npos);
+  EXPECT_EQ(serial, SingleSweepJson(2));
+  EXPECT_EQ(serial, SingleSweepJson(8));
+}
+
+std::string LoadSweepJson(int threads) {
+  SetParallelThreads(threads);
+  LoadRunSpec spec;
+  spec.scheme = SchemeKind::kNiKBinomial;
+  spec.degree = 4;
+  spec.effective_load = 0.15;
+  spec.topologies = 5;
+  spec.warmup = 2'000;
+  spec.horizon = 20'000;
+  return ToJson(RunLoadSweepPoint(spec).metrics);
+}
+
+TEST(MetricsDeterminism, LoadRunnerThreadCountInvariant) {
+  ThreadsGuard guard;
+  const std::string serial = LoadSweepJson(1);
+  EXPECT_NE(serial.find("fabric.flits_sent"), std::string::npos);
+  EXPECT_EQ(serial, LoadSweepJson(2));
+  EXPECT_EQ(serial, LoadSweepJson(8));
+}
+
+std::string DsmSweepJson(int threads) {
+  SetParallelThreads(threads);
+  SimConfig cfg;
+  DsmParams params;
+  params.topologies = 3;
+  params.horizon = 40'000;
+  return ToJson(RunDsmInvalidation(cfg, SchemeKind::kPathWorm, params).metrics);
+}
+
+TEST(MetricsDeterminism, DsmRunnerThreadCountInvariant) {
+  ThreadsGuard guard;
+  const std::string serial = DsmSweepJson(1);
+  EXPECT_NE(serial.find("host.cycles"), std::string::npos);
+  EXPECT_EQ(serial, DsmSweepJson(8));
+}
+
+TEST(MetricsDeterminism, CollectMetricsOffYieldsEmptyRegistry) {
+  SingleRunSpec spec;
+  spec.multicast_size = 4;
+  spec.topologies = 2;
+  spec.samples_per_topology = 1;
+  spec.collect_metrics = false;
+  EXPECT_TRUE(RunSingleMulticast(spec).metrics.Empty());
+  // ...and the result itself is unaffected by the toggle.
+  SingleRunSpec on = spec;
+  on.collect_metrics = true;
+  EXPECT_EQ(RunSingleMulticast(spec).mean_latency,
+            RunSingleMulticast(on).mean_latency);
+}
+
+}  // namespace
+}  // namespace irmc

@@ -24,6 +24,7 @@
 #include "core/parallel.hpp"
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
+#include "metrics/export.hpp"
 #include "topology/serialize.hpp"
 #include "topology/system.hpp"
 #include "trace/analysis.hpp"
@@ -50,6 +51,20 @@ std::unique_ptr<MulticastScheme> MakeCliScheme(const std::string& name,
   const auto kind = ParseScheme(name);
   if (!kind) return nullptr;
   return MakeScheme(*kind, host);
+}
+
+/// --metrics FILE: write the run's merged MetricsRegistry (JSON by
+/// default; .jsonl / .csv select those formats). Returns 0, or 1 on I/O
+/// error; no-op when the flag is absent.
+int MaybeWriteMetrics(const Args& args, const MetricsRegistry& reg) {
+  const std::string path = args.GetString("metrics", "");
+  if (path.empty()) return 0;
+  if (!WriteFile(path, SerializeForPath(reg, path))) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics to %s\n", path.c_str());
+  return 0;
 }
 
 /// Common --switches/--nodes/--ports/--packets/--ratio/--seed handling.
@@ -82,6 +97,8 @@ int Usage() {
                "         --packet-flits N --ratio R --seed S\n"
                "         --threads N  (parallel trials; default "
                "IRMC_THREADS or all cores)\n"
+               "         --metrics FILE  (single/load/dsm: write merged "
+               "metrics; .json/.jsonl/.csv)\n"
                "load:    --pattern uniform|clustered|hotspot\n");
   return 2;
 }
@@ -101,7 +118,7 @@ int CmdSingle(const Args& args) {
               ToString(*scheme), spec.multicast_size, r.mean_latency,
               r.mean_latency * spec.cfg.cycle_ns / 1000.0, r.min_latency,
               r.max_latency, r.samples);
-  return 0;
+  return MaybeWriteMetrics(args, r.metrics);
 }
 
 int CmdLoad(const Args& args) {
@@ -131,7 +148,7 @@ int CmdLoad(const Args& args) {
   std::printf("  achieved throughput %.3f flits/cycle/host, hottest link "
               "%.0f%% busy\n",
               r.achieved_throughput, 100.0 * r.max_link_utilization);
-  return 0;
+  return MaybeWriteMetrics(args, r.metrics);
 }
 
 int CmdDsm(const Args& args) {
@@ -148,7 +165,7 @@ int CmdDsm(const Args& args) {
               ToString(*scheme), params.sharers_per_line,
               r.mean_write_latency, r.p95_write_latency, r.writes_completed,
               r.writes_started);
-  return 0;
+  return MaybeWriteMetrics(args, r.metrics);
 }
 
 int CmdTopology(const Args& args) {
