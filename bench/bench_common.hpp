@@ -10,7 +10,6 @@
 //                    out on the parallel executor (core/parallel.hpp)
 //                    and merges outcomes in trial-index order, so bench
 //                    output is bit-identical for any thread count.
-//                    Tracer-attached runs always execute serially.
 //   IRMC_METRICS_DIR directory for per-point metric sidecars
 //                    (<slug>.metrics.jsonl, one JSON line per data
 //                    point; default "."; set empty to disable).

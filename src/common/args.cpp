@@ -23,7 +23,9 @@ Args Args::Parse(int argc, const char* const* argv) {
         ++i;
       }
     } else {
-      // Stray positional: record it as an unconsumable key.
+      // Stray positional: callers either take it via Positionals() (file
+      // operands) or see it in UnconsumedKeys() and reject it.
+      args.positionals_.push_back(token);
       args.values_["<positional:" + token + ">"] = "";
       ++i;
     }
@@ -59,6 +61,12 @@ double Args::GetDouble(const std::string& key, double fallback) const {
 bool Args::GetFlag(const std::string& key) const {
   consumed_[key] = true;
   return values_.count(key) > 0;
+}
+
+std::vector<std::string> Args::Positionals() const {
+  for (const std::string& token : positionals_)
+    consumed_["<positional:" + token + ">"] = true;
+  return positionals_;
 }
 
 std::vector<std::string> Args::UnconsumedKeys() const {

@@ -29,12 +29,17 @@ class Args {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetFlag(const std::string& key) const;
 
+  /// Stray non-flag tokens after the command word (file operands, ...),
+  /// in argv order; marks them consumed.
+  std::vector<std::string> Positionals() const;
+
   /// Keys the caller never consumed; call after all Get*.
   std::vector<std::string> UnconsumedKeys() const;
 
  private:
   std::string command_;
   std::map<std::string, std::string> values_;  // flag -> "" sentinel
+  std::vector<std::string> positionals_;       // argv order
   mutable std::map<std::string, bool> consumed_;
 };
 

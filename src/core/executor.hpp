@@ -63,8 +63,9 @@ class McastDriver {
 
   /// `metrics` (optional, also handed to the owned Fabric) receives the
   /// host/NI/I-O overhead accounting and per-multicast metrics — see
-  /// docs/metrics.md. A registry is per-trial state: unlike a Tracer it
-  /// never forces serial trial execution.
+  /// docs/metrics.md. Both the registry and the tracer are per-trial
+  /// state (each Trial owns its own), so neither forces serial trial
+  /// execution.
   McastDriver(Engine& engine, const System& sys, const SimConfig& cfg,
               Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr);
 

@@ -28,10 +28,10 @@ struct TopologyRun {
   SampleSet latencies;
 
   TopologyRun(const LoadRunSpec& s, const System& system, std::uint64_t seed,
-              MetricsRegistry* metrics)
+              Tracer* tracer, MetricsRegistry* metrics)
       : spec(s),
         sys(system),
-        driver(engine, system, s.cfg, s.tracer, metrics),
+        driver(engine, system, s.cfg, tracer, metrics),
         scheme(MakeScheme(s.scheme, s.cfg.host)) {
     const double flits = static_cast<double>(s.cfg.message.TotalFlits());
     interarrival_mean =
@@ -142,20 +142,23 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
   IRMC_EXPECT(spec.degree >= 1 &&
               spec.degree < spec.cfg.topology.num_hosts);
 
-  // Tracers force serial; metrics never do (per-trial registries).
-  const bool serial = TracerForcesSerial(spec.tracer);
-
   // Trial = one open-loop topology replica; it owns the Engine, System,
-  // McastDriver, per-host Rng streams, and MetricsRegistry for its
-  // replica.
+  // McastDriver, per-host Rng streams, MetricsRegistry, and Tracer for
+  // its replica.
   const auto body = [&spec](const TrialContext& ctx) {
     TrialOutcome out;
     MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
+    Tracer* trace = nullptr;
+    if (spec.tracer != nullptr) {
+      out.trace = Tracer(spec.trace_cap);
+      out.trace.set_trial(ctx.trial_index);
+      trace = &out.trace;
+    }
     const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed);
     TopologyRun run(spec, *sys,
                     spec.cfg.seed * 104729 +
                         static_cast<std::uint64_t>(ctx.trial_index),
-                    reg);
+                    trace, reg);
     run.Run();
     if (reg) {
       run.engine.CollectMetrics(*reg);
@@ -169,7 +172,8 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
     return out;
   };
 
-  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body, serial);
+  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body);
+  if (spec.tracer != nullptr) spec.tracer->Append(merged.trace);
   const SampleSet& all = merged.samples;
   const long completed = merged.completed;
   const long launched = merged.launched;

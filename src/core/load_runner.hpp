@@ -10,10 +10,12 @@
 //
 // Each topology replica is one Trial (core/trial.hpp): replicas execute
 // on the parallel executor (IRMC_THREADS) and merge in trial-index
-// order, so results are bit-identical for any thread count. Attaching a
-// tracer forces serial execution.
+// order, so results are bit-identical for any thread count. Tracing
+// follows the same pattern — each replica records into its own Tracer,
+// appended in trial-index order — so traced runs stay parallel too.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/stats.hpp"
@@ -59,9 +61,13 @@ struct LoadRunSpec {
   double saturation_unfinished_frac = 0.5;
   /// Hard cap on mean latency before declaring saturation.
   double saturation_latency = 100'000.0;
-  /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
-  /// (logged to stderr) since the tracer is not shared across trials.
+  /// Optional trace sink: per-trial tracers (stamped with the trial
+  /// index) are appended here in trial-index order after the merge.
+  /// Tracing never forces serial execution.
   Tracer* tracer = nullptr;
+  /// Ring-buffer cap per trial tracer; 0 = unbounded. Open-loop runs
+  /// emit a lot of events — cap generously or filter afterwards.
+  std::size_t trace_cap = 0;
   /// Always-on metrics: each topology replica records into its own
   /// MetricsRegistry, merged in trial-index order into
   /// LoadRunResult::metrics. Never forces serial execution. Off only for

@@ -30,16 +30,19 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
   IRMC_EXPECT(spec.multicast_size >= 1);
   IRMC_EXPECT(spec.multicast_size < spec.cfg.topology.num_hosts);
 
-  // Tracers force serial; metrics never do (per-trial registries).
-  const bool serial = TracerForcesSerial(spec.tracer);
-
   // Trial = one topology: build the system for the derived seed, then
   // draw and play samples_per_topology independent multicasts. The
-  // trial owns its Engine, System, McastDriver, Rng, and
-  // MetricsRegistry — nothing mutable crosses trial boundaries.
+  // trial owns its Engine, System, McastDriver, Rng, MetricsRegistry,
+  // and Tracer — nothing mutable crosses trial boundaries.
   const auto body = [&spec](const TrialContext& ctx) {
     TrialOutcome out;
     MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
+    Tracer* trace = nullptr;
+    if (spec.tracer != nullptr) {
+      out.trace = Tracer(spec.trace_cap);
+      out.trace.set_trial(ctx.trial_index);
+      trace = &out.trace;
+    }
     const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
     const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed,
                                    spec.root_policy);
@@ -57,13 +60,14 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
       McastPlan plan = scheme->Plan(*sys, src, dests, spec.cfg.message,
                                     spec.cfg.headers);
       const MulticastResult r =
-          PlayOnce(*sys, spec.cfg, std::move(plan), spec.tracer, reg);
+          PlayOnce(*sys, spec.cfg, std::move(plan), trace, reg);
       out.latency.Add(static_cast<double>(r.Latency()));
     }
     return out;
   };
 
-  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body, serial);
+  TrialOutcome merged = RunTrials(spec.cfg, spec.topologies, body);
+  if (spec.tracer != nullptr) spec.tracer->Append(merged.trace);
 
   SingleRunResult out;
   out.samples = static_cast<int>(merged.latency.count());

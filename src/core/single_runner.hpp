@@ -9,10 +9,12 @@
 // Each topology is one Trial (core/trial.hpp): trials execute on the
 // parallel executor (IRMC_THREADS) and their outcomes merge in
 // trial-index order, so the result is bit-identical for any thread
-// count. Attaching a tracer forces serial execution — a single Tracer
-// cannot record from concurrent trials.
+// count. Tracing follows the same pattern — each trial records into its
+// own Tracer, appended in trial-index order — so traced runs stay
+// parallel and export byte-identical streams for any thread count.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -29,9 +31,14 @@ struct SingleRunSpec {
   int topologies = 10;           ///< averaged over this many topologies
   int samples_per_topology = 4;  ///< random (source, dest-set) draws each
   RootPolicy root_policy = RootPolicy::kLowestId;
-  /// Optional event tracer. Non-null forces IRMC_THREADS=1 for this run
-  /// (logged to stderr) since the tracer is not shared across trials.
+  /// Optional trace sink. Non-null makes each trial record into its own
+  /// per-trial Tracer (stamped with the trial index); the per-trial
+  /// streams are appended here in trial-index order after the merge.
+  /// Tracing never forces serial execution.
   Tracer* tracer = nullptr;
+  /// Ring-buffer cap applied to each per-trial tracer (most recent
+  /// events kept, `dropped()` reports loss); 0 = unbounded.
+  std::size_t trace_cap = 0;
   /// Always-on metrics: each trial records into its own MetricsRegistry,
   /// merged in trial-index order into SingleRunResult::metrics. Never
   /// forces serial execution. Off only for overhead measurement

@@ -1,6 +1,5 @@
 #include "core/trial.hpp"
 
-#include <cstdio>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -16,15 +15,7 @@ void TrialOutcome::Merge(const TrialOutcome& other) {
   util_sum += other.util_sum;
   events += other.events;
   metrics.Merge(other.metrics);
-}
-
-bool TracerForcesSerial(const Tracer* tracer) {
-  if (tracer == nullptr) return false;
-  if (ParallelThreads() > 1)
-    std::fprintf(stderr,
-                 "irmcsim: tracer attached, forcing serial trial "
-                 "execution (IRMC_THREADS=1)\n");
-  return true;
+  trace.Append(other.trace);
 }
 
 TrialOutcome RunTrials(const SimConfig& cfg, int count, const TrialFn& fn,

@@ -20,10 +20,9 @@
 #include "common/stats.hpp"
 #include "core/config.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace irmc {
-
-class Tracer;
 
 /// Everything a trial body receives: the shared (read-only) config, its
 /// index in the sweep point, and the topology seed derived from it.
@@ -50,6 +49,11 @@ struct TrialOutcome {
   /// trial-index order like everything else, so the aggregate registry
   /// — and its serialised JSON — is bit-identical for any IRMC_THREADS.
   MetricsRegistry metrics;
+  /// Per-trial trace (empty unless the runner attached one). Appended in
+  /// trial-index order by Merge, so a traced sweep's merged event stream
+  /// — and its serialised export — is byte-identical for any
+  /// IRMC_THREADS. This is what lets traced sweeps stay parallel.
+  Tracer trace;
 
   void Merge(const TrialOutcome& other);
 };
@@ -57,17 +61,10 @@ struct TrialOutcome {
 using TrialFn = std::function<TrialOutcome(const TrialContext&)>;
 
 /// Runs `count` trials of `fn` on the parallel executor (ParallelThreads
-/// resolution; `force_serial` pins the crew to 1 — used when a Tracer is
-/// attached) and returns the outcomes merged in trial-index order.
+/// resolution; `force_serial` pins the crew to 1 — a debugging escape
+/// hatch, not needed for tracing: each trial owns its own Tracer) and
+/// returns the outcomes merged in trial-index order.
 TrialOutcome RunTrials(const SimConfig& cfg, int count, const TrialFn& fn,
                        bool force_serial = false);
-
-/// Executor-level serial fallback for tracer-attached runs: a single
-/// Tracer cannot record from concurrent trials, so a non-null tracer
-/// returns true (and logs a stderr notice when more than one thread
-/// would otherwise run). Metrics collection deliberately does NOT route
-/// through this: each trial owns its own MetricsRegistry and the merge
-/// is trial-index-ordered, so metrics-enabled runs stay parallel.
-bool TracerForcesSerial(const Tracer* tracer);
 
 }  // namespace irmc

@@ -11,8 +11,8 @@
 // order-independent operation (gauge max/min) or summed in trial-index
 // order by TrialOutcome::Merge. Exports sort by name. A parallel sweep
 // therefore serialises to byte-identical JSON for any IRMC_THREADS
-// value — unlike the Tracer, which forces serial execution, a registry
-// never does (each trial owns its own and the merge is ordered).
+// value — the same per-trial-ownership + ordered-merge pattern the
+// Tracer uses (trace/tracer.hpp), so neither forces serial execution.
 #pragma once
 
 #include <array>

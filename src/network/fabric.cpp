@@ -183,6 +183,16 @@ void Fabric::StartTx(int channel_id, Tx tx) {
     // after the pump serialises access, so start == earliest here).
     m_blocked_->Add(start - tx.ready);
   }
+  if (tracer_ && start > tx.ready) {
+    // The same ready-to-start wait as fabric.blocked_cycles, charged to
+    // the channel that held the worm; the matched pair durations sum
+    // exactly to that counter on the same run.
+    std::int32_t actor = -1;
+    std::int32_t port = -1;
+    ChannelActor(channel_id, &actor, &port);
+    TraceAt(tx.ready, TraceKind::kBlockBegin, *tx.pkt, actor, port);
+    TraceAt(start, TraceKind::kBlockEnd, *tx.pkt, actor, port);
+  }
   const Cycles head_arrive = start + params_.link_delay;
   const Cycles tail_arrive = start + len - 1 + params_.link_delay;
   const Cycles tail_leave = start + len;

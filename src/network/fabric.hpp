@@ -56,8 +56,8 @@ class Fabric {
       std::function<void(NodeId, const PacketPtr&, Cycles, Cycles)>;
 
   /// `metrics` (optional) receives fabric counters/histograms — see
-  /// docs/metrics.md for the catalogue. Unlike a Tracer, a registry is
-  /// per-trial state and never forces serial trial execution.
+  /// docs/metrics.md for the catalogue. Registry and tracer are both
+  /// per-trial state; neither forces serial trial execution.
   Fabric(Engine& engine, const System& sys, const NetParams& params,
          DeliverFn deliver, Tracer* tracer = nullptr,
          MetricsRegistry* metrics = nullptr);
@@ -164,9 +164,32 @@ class Fabric {
 
   void Trace(TraceKind kind, const Packet& pkt, std::int32_t actor,
              std::int32_t detail) {
+    TraceAt(engine_.Now(), kind, pkt, actor, detail);
+  }
+
+  /// Emit at an explicit time (block intervals start at tx.ready, which
+  /// predates the emitting event — stream order stays deterministic but
+  /// is not time-sorted across kinds).
+  void TraceAt(Cycles time, TraceKind kind, const Packet& pkt,
+               std::int32_t actor, std::int32_t detail) {
     if (tracer_)
-      tracer_->Record(TraceEvent{engine_.Now(), kind, pkt.mcast_id,
-                                 pkt.pkt_index, actor, detail});
+      tracer_->Record(
+          TraceEvent{time, kind, pkt.mcast_id, pkt.pkt_index, actor, detail});
+  }
+
+  /// Channel id -> the BlockSource convention of trace/analysis: switch
+  /// output channels report (switch, port); injection channels report
+  /// (node, -1).
+  void ChannelActor(int channel_id, std::int32_t* actor,
+                    std::int32_t* detail) const {
+    const int n_out = sys_.num_switches() * ports_;
+    if (channel_id < n_out) {
+      *actor = channel_id / ports_;
+      *detail = channel_id % ports_;
+    } else {
+      *actor = channel_id - n_out;
+      *detail = -1;
+    }
   }
 
   Engine& engine_;

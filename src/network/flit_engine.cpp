@@ -6,6 +6,7 @@
 
 #include "common/expect.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/tracer.hpp"
 
 namespace irmc {
 
@@ -54,6 +55,13 @@ struct BranchState {
   Cycles start_ok = 0;
   int dst_worm = -1;  ///< created when the head lands downstream
   bool done = false;
+  // Open credit-stall streak (tracer attached only). stall_len counts
+  // exactly the cycles added to flit.blocked_cycles, so the emitted
+  // block interval [stall_begin, stall_begin + stall_len) keeps the
+  // trace-derived total equal to the counter even when the streak is
+  // interleaved with flit-availability waits (which are not stalls).
+  Cycles stall_begin = 0;
+  Cycles stall_len = 0;
 };
 
 struct InFlight {
@@ -69,6 +77,7 @@ struct FlitEngine::Impl {
   FlitEngineParams params;
   int ports;
   MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
   std::int64_t m_flits_moved = 0;
   std::int64_t m_blocked_cycles = 0;   ///< credit stalls (true wormhole blocking)
   std::int64_t m_max_occupancy = 0;    ///< input-buffer flits high-water
@@ -126,6 +135,31 @@ struct FlitEngine::Impl {
   }
   SwitchId SwitchOfPort(int port_index) const {
     return static_cast<SwitchId>(port_index / ports);
+  }
+
+  /// Flush a branch's open stall streak as a kBlockBegin/kBlockEnd pair
+  /// charged to its channel (switch output port, or injection channel
+  /// with detail -1 — the BlockSource convention of trace/analysis).
+  void EmitBlockStreak(BranchState& b) {
+    if (b.stall_len == 0) return;
+    const int n_out = sys.num_switches() * ports;
+    TraceEvent e;
+    e.mcast_id = b.out_pkt->mcast_id;
+    e.pkt_index = b.out_pkt->pkt_index;
+    if (b.channel < n_out) {
+      e.actor = b.channel / ports;
+      e.detail = b.channel % ports;
+    } else {
+      e.actor = b.channel - n_out;
+      e.detail = -1;
+    }
+    e.kind = TraceKind::kBlockBegin;
+    e.time = b.stall_begin;
+    tracer->Record(e);
+    e.kind = TraceKind::kBlockEnd;
+    e.time = b.stall_begin + b.stall_len;
+    tracer->Record(e);
+    b.stall_len = 0;
   }
 
   // ---- routing decisions (deterministic: first candidate) ----
@@ -357,17 +391,26 @@ struct FlitEngine::Impl {
         if (b.dst_worm == -1) {
           if (ip.resident_worm != -1) {
             ++m_blocked_cycles;  // port occupied
+            if (tracer) {
+              if (b.stall_len == 0) b.stall_begin = now;
+              ++b.stall_len;
+            }
             continue;
           }
         } else {
           const Worm& dw = worms[static_cast<std::size_t>(b.dst_worm)];
           if (dw.received - dw.freed >= ip.capacity) {
             ++m_blocked_cycles;  // downstream buffer full
+            if (tracer) {
+              if (b.stall_len == 0) b.stall_begin = now;
+              ++b.stall_len;
+            }
             continue;
           }
           // Plus the flits already in flight toward it this cycle.
         }
       }
+      if (tracer) EmitBlockStreak(b);
       const bool is_head = (b.consumed == 0);
       ++b.consumed;
       ++m_flits_moved;
@@ -395,9 +438,10 @@ struct FlitEngine::Impl {
 };
 
 FlitEngine::FlitEngine(const System& sys, const FlitEngineParams& params,
-                       MetricsRegistry* metrics)
+                       MetricsRegistry* metrics, Tracer* tracer)
     : impl_(std::make_shared<Impl>(sys, params)) {
   impl_->metrics = metrics;
+  impl_->tracer = tracer;
 }
 
 void FlitEngine::Inject(NodeId n, PacketPtr pkt, Cycles ready) {

@@ -23,6 +23,7 @@
 namespace irmc {
 
 class MetricsRegistry;
+class Tracer;
 
 struct FlitDelivery {
   NodeId node = kInvalidNode;
@@ -42,8 +43,11 @@ class FlitEngine {
   /// `metrics` (optional) receives `flit.*` counters when Run() ends:
   /// flits moved, credit-stall (blocked) cycles, cycles stepped,
   /// deliveries, and the input-buffer occupancy high-water gauge.
+  /// `tracer` (optional) receives kBlockBegin/kBlockEnd pairs for every
+  /// credit-stall streak, charged to the stalling channel; the matched
+  /// pair durations sum exactly to `flit.blocked_cycles`.
   FlitEngine(const System& sys, const FlitEngineParams& params,
-             MetricsRegistry* metrics = nullptr);
+             MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr);
 
   /// Queue a packet for injection from node n's NI at `ready`.
   void Inject(NodeId n, PacketPtr pkt, Cycles ready);

@@ -1,46 +1,174 @@
 #include "trace/analysis.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "common/expect.hpp"
 
 namespace irmc {
+namespace {
 
-LatencyBreakdown AnalyzeMulticast(const Tracer& tracer,
-                                  std::int64_t mcast_id) {
+/// The kinds a latency breakdown needs at least one of each.
+constexpr TraceKind kRequiredKinds[] = {
+    TraceKind::kSendStart, TraceKind::kHeadArrive, TraceKind::kNiDeliver,
+    TraceKind::kHostDeliver};
+
+}  // namespace
+
+std::optional<LatencyBreakdown> TryAnalyzeMulticast(const Tracer& tracer,
+                                                    std::int64_t mcast_id,
+                                                    std::string* missing,
+                                                    std::int32_t trial) {
   LatencyBreakdown out;
-  bool saw_send = false, saw_inject = false, saw_ni = false, saw_host = false;
-  for (const TraceEvent& e : tracer.events()) {
-    if (e.mcast_id != mcast_id) continue;
+  bool seen[4] = {false, false, false, false};
+  tracer.ForEach([&](const TraceEvent& e) {
+    if (e.mcast_id != mcast_id) return;
+    if (trial != kAllTrials && e.trial != trial) return;
     switch (e.kind) {
       case TraceKind::kSendStart:
-        if (!saw_send || e.time < out.start) out.start = e.time;
-        saw_send = true;
+        if (!seen[0] || e.time < out.start) out.start = e.time;
+        seen[0] = true;
         break;
       case TraceKind::kHeadArrive:
-        if (!saw_inject || e.time < out.network_entry)
+        if (!seen[1] || e.time < out.network_entry)
           out.network_entry = e.time;
-        saw_inject = true;
+        seen[1] = true;
         break;
       case TraceKind::kNiDeliver:
         out.last_ni_arrival = std::max(out.last_ni_arrival, e.time);
-        saw_ni = true;
+        seen[2] = true;
         break;
       case TraceKind::kHostDeliver:
         out.completion = std::max(out.completion, e.time);
-        saw_host = true;
+        seen[3] = true;
         break;
       default:
         break;
     }
+  });
+  if (!(seen[0] && seen[1] && seen[2] && seen[3])) {
+    if (missing != nullptr) {
+      missing->clear();
+      for (int i = 0; i < 4; ++i) {
+        if (seen[i]) continue;
+        if (!missing->empty()) *missing += ", ";
+        *missing += ToString(kRequiredKinds[i]);
+      }
+    }
+    return std::nullopt;
   }
-  IRMC_EXPECT(saw_send && saw_inject && saw_ni && saw_host);
   // The decomposition is only meaningful on a completed multicast;
   // clamp pathological orderings (a forwarding node's late NI arrival
   // can postdate an early destination's completion for multi-phase
   // schemes — the critical path still ends at the last host delivery).
   out.last_ni_arrival = std::min(out.last_ni_arrival, out.completion);
   return out;
+}
+
+LatencyBreakdown AnalyzeMulticast(const Tracer& tracer, std::int64_t mcast_id,
+                                  std::int32_t trial) {
+  std::string missing;
+  std::optional<LatencyBreakdown> out =
+      TryAnalyzeMulticast(tracer, mcast_id, &missing, trial);
+  IRMC_EXPECT_MSG(out.has_value(),
+                  "incomplete trace for multicast %lld: missing %s "
+                  "(capped ring buffer or unfinished run?)",
+                  static_cast<long long>(mcast_id), missing.c_str());
+  return *out;
+}
+
+std::vector<BlockInterval> BlockIntervals(const Tracer& tracer) {
+  // Pair begins and ends per (trial, channel, worm). Emit sites record
+  // each begin/end pair back to back, so a one-deep slot per key would
+  // do; a stack keeps the pairing robust if nesting ever appears.
+  using Key = std::tuple<std::int32_t, std::int32_t, std::int32_t,
+                         std::int64_t, int>;
+  std::map<Key, std::vector<Cycles>> open;
+  std::vector<BlockInterval> out;
+  tracer.ForEach([&](const TraceEvent& e) {
+    if (e.kind != TraceKind::kBlockBegin && e.kind != TraceKind::kBlockEnd)
+      return;
+    const Key key{e.trial, e.actor, e.detail, e.mcast_id, e.pkt_index};
+    if (e.kind == TraceKind::kBlockBegin) {
+      open[key].push_back(e.time);
+      return;
+    }
+    auto it = open.find(key);
+    if (it == open.end() || it->second.empty()) return;  // orphan end (ring)
+    BlockInterval iv;
+    iv.source = BlockSource{e.actor, e.detail};
+    iv.mcast_id = e.mcast_id;
+    iv.pkt_index = e.pkt_index;
+    iv.trial = e.trial;
+    iv.begin = it->second.back();
+    iv.end = e.time;
+    it->second.pop_back();
+    out.push_back(iv);
+  });
+  return out;
+}
+
+std::vector<BlockerStat> AttributeBlocking(const Tracer& tracer) {
+  std::map<BlockSource, BlockerStat> by_source;
+  for (const BlockInterval& iv : BlockIntervals(tracer)) {
+    BlockerStat& s = by_source[iv.source];
+    s.source = iv.source;
+    s.blocked_cycles += iv.Duration();
+    ++s.intervals;
+  }
+  std::vector<BlockerStat> out;
+  out.reserve(by_source.size());
+  for (const auto& [source, stat] : by_source) out.push_back(stat);
+  std::sort(out.begin(), out.end(),
+            [](const BlockerStat& a, const BlockerStat& b) {
+              if (a.blocked_cycles != b.blocked_cycles)
+                return a.blocked_cycles > b.blocked_cycles;
+              return a.source < b.source;
+            });
+  return out;
+}
+
+Cycles TotalBlockedCycles(const Tracer& tracer) {
+  Cycles total = 0;
+  for (const BlockInterval& iv : BlockIntervals(tracer))
+    total += iv.Duration();
+  return total;
+}
+
+std::optional<CriticalPathReport> AnalyzeCriticalPath(const Tracer& tracer,
+                                                      std::int64_t mcast_id,
+                                                      std::int32_t trial) {
+  std::optional<LatencyBreakdown> breakdown =
+      TryAnalyzeMulticast(tracer, mcast_id, nullptr, trial);
+  if (!breakdown.has_value()) return std::nullopt;
+
+  CriticalPathReport report;
+  report.mcast_id = mcast_id;
+  report.breakdown = *breakdown;
+
+  // Last destination: the host-delivery that set `completion` (ties go
+  // to the first such event in stream order, which is deterministic).
+  tracer.ForEach([&](const TraceEvent& e) {
+    if (e.mcast_id != mcast_id || e.kind != TraceKind::kHostDeliver) return;
+    if (trial != kAllTrials && e.trial != trial) return;
+    if (report.last_dest == kInvalidNode && e.time == breakdown->completion) {
+      report.last_dest = e.actor;
+      report.trial = e.trial;
+    }
+  });
+
+  for (const BlockInterval& iv : BlockIntervals(tracer)) {
+    if (iv.mcast_id != mcast_id) continue;
+    if (trial != kAllTrials && iv.trial != trial) continue;
+    BlockInterval clipped = iv;
+    clipped.begin = std::max(clipped.begin, breakdown->network_entry);
+    clipped.end = std::min(clipped.end, breakdown->last_ni_arrival);
+    if (clipped.end <= clipped.begin) continue;
+    report.stalled_cycles += clipped.Duration();
+    report.stalls.push_back(clipped);
+  }
+  return report;
 }
 
 }  // namespace irmc

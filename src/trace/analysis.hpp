@@ -1,20 +1,31 @@
-// Latency decomposition from trace events.
+// Latency decomposition and blocking attribution from trace events.
 //
 // Splits a traced multicast's critical path into the components the
 // paper's model reasons about: source-side software (send start until
 // the first flit enters the network), network transit (injection until
 // the last destination's NI holds the full message), and
 // destination-side software (NI arrival until host-level delivery at
-// the last destination). Useful for answering "where does scheme X
-// spend its time" without re-deriving the model by hand.
+// the last destination). On top of that, the kBlockBegin/kBlockEnd
+// pairs emitted by the fabric and flit engine are charged to the
+// specific link (switch output port or injection channel) that held
+// each worm, producing a ranked "top blockers" report and a per-worm
+// stall account whose total equals the engines' blocked-cycle counters
+// (fabric.blocked_cycles / flit.blocked_cycles) on the same run.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "trace/tracer.hpp"
 
 namespace irmc {
+
+/// Matches every trial in a merged sweep trace (multicast ids are
+/// per-trial; pass a real trial index to disambiguate).
+inline constexpr std::int32_t kAllTrials = -1;
 
 struct LatencyBreakdown {
   Cycles start = 0;          ///< first send-start
@@ -30,12 +41,89 @@ struct LatencyBreakdown {
   Cycles Total() const { return completion - start; }
 };
 
-/// Computes the breakdown for one traced multicast. Requires the trace
-/// to contain at least one kSendStart, one kHeadArrive, one kNiDeliver
-/// and one kHostDeliver for that multicast (i.e. a completed run).
-/// Network entry is the first head-flit arrival at the source's switch,
-/// so SourceSoftware() covers o_host, DMA, o_ni and injection queueing.
-LatencyBreakdown AnalyzeMulticast(const Tracer& tracer,
-                                  std::int64_t mcast_id);
+/// Computes the breakdown for one traced multicast, or nullopt when the
+/// trace lacks a required event kind (incomplete run, or a ring-capped
+/// tracer that overwrote the early events). When it fails and `missing`
+/// is non-null, it receives a comma-separated list of the absent kinds.
+std::optional<LatencyBreakdown> TryAnalyzeMulticast(
+    const Tracer& tracer, std::int64_t mcast_id, std::string* missing = nullptr,
+    std::int32_t trial = kAllTrials);
+
+/// Contract-checked variant: requires the trace to contain at least one
+/// kSendStart, kHeadArrive, kNiDeliver and kHostDeliver for that
+/// multicast (i.e. a completed, uncapped trace); aborts with a message
+/// naming the missing kind otherwise. Network entry is the first
+/// head-flit arrival at the source's switch, so SourceSoftware() covers
+/// o_host, DMA, o_ni and injection queueing.
+LatencyBreakdown AnalyzeMulticast(const Tracer& tracer, std::int64_t mcast_id,
+                                  std::int32_t trial = kAllTrials);
+
+/// The channel a stall was charged to: a switch output port, or a
+/// node's injection channel (port < 0).
+struct BlockSource {
+  std::int32_t actor = -1;  ///< switch, or node for injection channels
+  std::int32_t port = -1;   ///< output port; -1 = injection channel
+
+  bool IsInjection() const { return port < 0; }
+  friend bool operator==(const BlockSource& a, const BlockSource& b) {
+    return a.actor == b.actor && a.port == b.port;
+  }
+  friend bool operator<(const BlockSource& a, const BlockSource& b) {
+    if ((a.port < 0) != (b.port < 0)) return a.port >= 0;  // switches first
+    if (a.actor != b.actor) return a.actor < b.actor;
+    return a.port < b.port;
+  }
+};
+
+/// One matched kBlockBegin/kBlockEnd pair.
+struct BlockInterval {
+  BlockSource source;
+  std::int64_t mcast_id = -1;
+  int pkt_index = 0;
+  std::int32_t trial = 0;
+  Cycles begin = 0;
+  Cycles end = 0;
+
+  Cycles Duration() const { return end - begin; }
+};
+
+/// All matched stall intervals, in stream order of their kBlockEnd.
+/// Unmatched begins/ends (ring-capped traces) are skipped.
+std::vector<BlockInterval> BlockIntervals(const Tracer& tracer);
+
+/// Aggregate stall cycles charged to one channel.
+struct BlockerStat {
+  BlockSource source;
+  Cycles blocked_cycles = 0;
+  std::int64_t intervals = 0;
+};
+
+/// Ranked "top blockers": every channel that ever held a worm, sorted
+/// by descending blocked cycles (ties broken by source identity, so the
+/// ranking is deterministic). The per-channel sums add up to
+/// TotalBlockedCycles.
+std::vector<BlockerStat> AttributeBlocking(const Tracer& tracer);
+
+/// Sum of all matched stall intervals. On a complete (uncapped) trace
+/// this equals the engine's blocked-cycles counter for the same run.
+Cycles TotalBlockedCycles(const Tracer& tracer);
+
+/// Critical-path account of one multicast: the milestone breakdown,
+/// the last destination to complete, and every stall interval of the
+/// multicast clipped to the network window [network_entry,
+/// last_ni_arrival] — the stalls that could have stretched the transit
+/// span.
+struct CriticalPathReport {
+  std::int64_t mcast_id = -1;
+  std::int32_t trial = 0;
+  LatencyBreakdown breakdown;
+  NodeId last_dest = kInvalidNode;
+  std::vector<BlockInterval> stalls;  ///< clipped, in stream order
+  Cycles stalled_cycles = 0;          ///< summed clipped durations
+};
+
+std::optional<CriticalPathReport> AnalyzeCriticalPath(
+    const Tracer& tracer, std::int64_t mcast_id,
+    std::int32_t trial = kAllTrials);
 
 }  // namespace irmc

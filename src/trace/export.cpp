@@ -1,0 +1,192 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace irmc {
+namespace {
+
+/// Every formatted record fits comfortably in this.
+constexpr std::size_t kLineMax = 256;
+
+std::string EventJsonLine(const TraceEvent& e) {
+  char buf[kLineMax];
+  std::snprintf(buf, sizeof(buf),
+                "{\"trial\":%d,\"time\":%lld,\"kind\":\"%s\",\"mcast\":%lld,"
+                "\"pkt\":%d,\"actor\":%d,\"detail\":%d}\n",
+                e.trial, static_cast<long long>(e.time), ToString(e.kind),
+                static_cast<long long>(e.mcast_id), e.pkt_index, e.actor,
+                e.detail);
+  return buf;
+}
+
+bool IsNodeActor(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceKind::kSendStart:
+    case TraceKind::kInject:
+    case TraceKind::kNiDeliver:
+    case TraceKind::kHostDeliver:
+      return true;
+    case TraceKind::kHeadArrive:
+    case TraceKind::kRoute:
+    case TraceKind::kBranch:
+      return false;
+    case TraceKind::kBlockBegin:
+    case TraceKind::kBlockEnd:
+      // Block events follow the channel: switch output ports carry the
+      // port in `detail`, injection channels carry -1.
+      return e.detail < 0;
+  }
+  return true;
+}
+
+/// Chrome "thread" id for an actor: switches on even tids, nodes on
+/// odd, so a switch and a node with the same index get distinct tracks.
+std::int64_t ChromeTid(const TraceEvent& e) {
+  return IsNodeActor(e) ? e.actor * 2LL + 1 : e.actor * 2LL;
+}
+
+}  // namespace
+
+std::string ToJsonLines(const Tracer& tracer) {
+  std::string out;
+  tracer.ForEach([&out](const TraceEvent& e) { out += EventJsonLine(e); });
+  return out;
+}
+
+std::string ToChromeTrace(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&out, &first](const char* record) {
+    if (!first) out += ",\n";
+    first = false;
+    out += record;
+  };
+  char buf[kLineMax];
+
+  // Metadata first: name every process (trial) and track (switch/node),
+  // collected into maps so the order is deterministic.
+  std::map<std::int32_t, bool> trials;
+  std::map<std::pair<std::int32_t, std::int64_t>, std::string> tracks;
+  tracer.ForEach([&](const TraceEvent& e) {
+    trials[e.trial] = true;
+    char name[kLineMax];
+    std::snprintf(name, sizeof(name), "%s %d",
+                  IsNodeActor(e) ? "node" : "switch", e.actor);
+    tracks[{e.trial, ChromeTid(e)}] = name;
+  });
+  for (const auto& [trial, unused] : trials) {
+    (void)unused;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"trial %d\"}}",
+                  trial, trial);
+    emit(buf);
+  }
+  for (const auto& [key, name] : tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%lld,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  key.first, static_cast<long long>(key.second), name.c_str());
+    emit(buf);
+  }
+
+  // Events in stream order. Block pairs become complete "X" slices
+  // (emitted when the end closes the pair); everything else an instant.
+  using Key =
+      std::tuple<std::int32_t, std::int32_t, std::int32_t, std::int64_t, int>;
+  std::map<Key, std::vector<Cycles>> open;
+  tracer.ForEach([&](const TraceEvent& e) {
+    const Key key{e.trial, e.actor, e.detail, e.mcast_id, e.pkt_index};
+    if (e.kind == TraceKind::kBlockBegin) {
+      open[key].push_back(e.time);
+      return;
+    }
+    if (e.kind == TraceKind::kBlockEnd) {
+      auto it = open.find(key);
+      if (it == open.end() || it->second.empty()) return;  // orphan (ring cap)
+      const Cycles begin = it->second.back();
+      it->second.pop_back();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,\"ts\":%lld,"
+                    "\"dur\":%lld,\"name\":\"blocked\",\"cat\":\"block\","
+                    "\"args\":{\"mcast\":%lld,\"pkt\":%d,\"port\":%d}}",
+                    e.trial, static_cast<long long>(ChromeTid(e)),
+                    static_cast<long long>(begin),
+                    static_cast<long long>(e.time - begin),
+                    static_cast<long long>(e.mcast_id), e.pkt_index, e.detail);
+      emit(buf);
+      return;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%lld,"
+                  "\"ts\":%lld,\"name\":\"%s\",\"cat\":\"event\","
+                  "\"args\":{\"mcast\":%lld,\"pkt\":%d,\"detail\":%d}}",
+                  e.trial, static_cast<long long>(ChromeTid(e)),
+                  static_cast<long long>(e.time), ToString(e.kind),
+                  static_cast<long long>(e.mcast_id), e.pkt_index, e.detail);
+    emit(buf);
+  });
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string SerializeTraceForPath(const Tracer& tracer,
+                                  const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".jsonl") return ToJsonLines(tracer);
+  return ToChromeTrace(tracer);
+}
+
+bool ParseTraceJsonLines(const std::string& text, Tracer* out,
+                         std::string* error) {
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    int trial = 0;
+    long long time = 0;
+    char kind_name[32] = {0};
+    long long mcast = 0;
+    int pkt = 0;
+    int actor = 0;
+    int detail = 0;
+    const int matched = std::sscanf(
+        line.c_str(),
+        "{\"trial\":%d,\"time\":%lld,\"kind\":\"%31[^\"]\",\"mcast\":%lld,"
+        "\"pkt\":%d,\"actor\":%d,\"detail\":%d}",
+        &trial, &time, kind_name, &mcast, &pkt, &actor, &detail);
+    TraceKind kind = TraceKind::kInject;
+    if (matched != 7 || !TraceKindFromString(kind_name, &kind)) {
+      if (error != nullptr) {
+        char buf[kLineMax];
+        std::snprintf(buf, sizeof(buf), "line %d: malformed trace record",
+                      lineno);
+        *error = buf;
+      }
+      return false;
+    }
+    TraceEvent e;
+    e.time = time;
+    e.kind = kind;
+    e.mcast_id = mcast;
+    e.pkt_index = pkt;
+    e.actor = actor;
+    e.detail = detail;
+    e.trial = trial;
+    out->RecordKeepingTrial(e);
+  }
+  return true;
+}
+
+}  // namespace irmc

@@ -17,11 +17,12 @@ namespace {
 class DsmRun {
  public:
   DsmRun(const SimConfig& cfg, SchemeKind scheme, const DsmParams& params,
-         const System& sys, std::uint64_t seed, MetricsRegistry* metrics)
+         const System& sys, std::uint64_t seed, Tracer* tracer,
+         MetricsRegistry* metrics)
       : cfg_(cfg),
         params_(params),
         sys_(sys),
-        driver_(engine_, sys, cfg, nullptr, metrics),
+        driver_(engine_, sys, cfg, tracer, metrics),
         scheme_(MakeScheme(scheme, cfg.host)),
         rng_(seed) {
     IRMC_EXPECT(params.sharers_per_line < sys.num_nodes());
@@ -155,11 +156,17 @@ DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
         TrialOutcome out;
         MetricsRegistry* reg =
             params.collect_metrics ? &out.metrics : nullptr;
+        Tracer* trace = nullptr;
+        if (params.tracer != nullptr) {
+          out.trace = Tracer(params.trace_cap);
+          out.trace.set_trial(ctx.trial_index);
+          trace = &out.trace;
+        }
         const auto sys = System::Build(cfg.topology, ctx.derived_seed);
         DsmRun run(cfg, scheme, params, *sys,
                    cfg.seed * 6151 +
                        static_cast<std::uint64_t>(ctx.trial_index),
-                   reg);
+                   trace, reg);
         run.Run();
         if (reg) run.CollectMetrics(*reg);
         out.launched = run.started();
@@ -167,6 +174,7 @@ DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
         out.samples = run.latencies();
         return out;
       });
+  if (params.tracer != nullptr) params.tracer->Append(merged.trace);
 
   DsmResult out;
   out.writes_started = merged.launched;

@@ -12,6 +12,7 @@
 // stall time.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/stats.hpp"
@@ -19,6 +20,8 @@
 #include "metrics/metrics.hpp"
 
 namespace irmc {
+
+class Tracer;
 
 struct DsmParams {
   int num_lines = 64;      ///< directory entries with active sharer sets
@@ -33,6 +36,12 @@ struct DsmParams {
   /// Always-on metrics: each replica records into its own registry,
   /// merged in trial-index order into DsmResult::metrics.
   bool collect_metrics = true;
+  /// Optional trace sink: per-trial tracers (stamped with the trial
+  /// index) are appended here in trial-index order after the merge.
+  /// Tracing never forces serial execution.
+  Tracer* tracer = nullptr;
+  /// Ring-buffer cap per trial tracer; 0 = unbounded.
+  std::size_t trace_cap = 0;
 };
 
 struct DsmResult {

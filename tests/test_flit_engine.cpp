@@ -6,8 +6,11 @@
 #include <set>
 #include <tuple>
 
+#include "metrics/metrics.hpp"
 #include "network/fabric.hpp"
 #include "topology/system.hpp"
+#include "trace/analysis.hpp"
+#include "trace/tracer.hpp"
 
 namespace irmc {
 namespace {
@@ -147,6 +150,53 @@ TEST(FlitEngine, SmallBuffersStretchWormAcrossLinks) {
         std::max(d[0].tail_arrive, d[1].tail_arrive) -
         std::min(d[0].tail_arrive, d[1].tail_arrive);
     EXPECT_GE(spread, 100);
+  }
+}
+
+TEST(FlitEngine, BlockTracePairsSumToBlockedCyclesCounter) {
+  // The contended small-buffer scenario above, with a tracer and a
+  // registry attached: every credit-stall streak must surface as a
+  // kBlockBegin/kBlockEnd pair, and the matched durations must sum
+  // exactly to the flit.blocked_cycles counter.
+  Graph g(3, 6);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(1, 1, 2, 0);
+  g.AttachHost(0, 4);  // node 0
+  g.AttachHost(0, 5);  // node 1
+  g.AttachHost(2, 4);  // node 2
+  g.AttachHost(2, 5);  // node 3
+  System sys{std::move(g)};
+
+  FlitEngineParams params;
+  params.buffer_flits = 4;
+  MetricsRegistry reg;
+  Tracer tracer;
+  FlitEngine engine(sys, params, &reg, &tracer);
+  engine.Inject(0, Unicast(0, 2, 128), 0);
+  engine.Inject(1, Unicast(1, 3, 128), 0);
+  ASSERT_EQ(engine.Run(100000).size(), 2u);
+
+  const std::int64_t counter = reg.GetCounter("flit.blocked_cycles").value;
+  ASSERT_GT(counter, 0);  // the scenario really does block
+  EXPECT_EQ(TotalBlockedCycles(tracer), counter);
+
+  // Pairs are balanced and every interval names a real channel.
+  const auto intervals = BlockIntervals(tracer);
+  std::size_t block_events = 0;
+  tracer.ForEach([&block_events](const TraceEvent& e) {
+    if (e.kind == TraceKind::kBlockBegin || e.kind == TraceKind::kBlockEnd)
+      ++block_events;
+  });
+  EXPECT_EQ(block_events, intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    EXPECT_GT(iv.Duration(), 0);
+    EXPECT_GE(iv.source.actor, 0);
+    if (!iv.source.IsInjection()) {
+      EXPECT_LT(iv.source.actor, sys.num_switches());
+      EXPECT_LT(iv.source.port, sys.graph.ports_per_switch());
+    } else {
+      EXPECT_LT(iv.source.actor, sys.num_nodes());
+    }
   }
 }
 

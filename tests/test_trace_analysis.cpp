@@ -1,0 +1,226 @@
+// trace/analysis beyond the happy path: incomplete-trace hardening
+// (Try variant + death test naming the missing kind), scheme-vs-scheme
+// breakdowns on the same topology, multi-packet messages, blocking
+// attribution summing exactly to the fabric's blocked-cycle counter,
+// and the critical-path report.
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/load_runner.hpp"
+#include "core/parallel.hpp"
+#include "mcast/scheme.hpp"
+#include "metrics/metrics.hpp"
+#include "topology/system.hpp"
+#include "trace/tracer.hpp"
+
+namespace irmc {
+namespace {
+
+/// Plays one traced multicast on a fresh driver; returns its id.
+std::int64_t PlayTraced(Tracer& tracer, SchemeKind kind,
+                        const std::vector<NodeId>& dests,
+                        const SimConfig& cfg) {
+  const auto sys = System::Build({}, 42);
+  Engine engine;
+  McastDriver driver(engine, *sys, cfg, &tracer);
+  const auto scheme = MakeScheme(kind, cfg.host);
+  const auto id = driver.Launch(
+      scheme->Plan(*sys, 0, dests, cfg.message, cfg.headers), 0,
+      [](const MulticastResult&) {});
+  engine.RunToQuiescence();
+  return id;
+}
+
+TEST(TryAnalyzeMulticast, ReportsEveryMissingKindByName) {
+  Tracer tracer;  // empty: everything is missing
+  std::string missing;
+  EXPECT_FALSE(TryAnalyzeMulticast(tracer, 0, &missing).has_value());
+  EXPECT_EQ(missing, "send-start, head-arrive, ni-deliver, host-deliver");
+
+  // A partially populated trace names only the absent kinds.
+  tracer.Record({0, TraceKind::kSendStart, 0, 0, 3, -1});
+  tracer.Record({9, TraceKind::kHeadArrive, 0, 0, 1, 2});
+  EXPECT_FALSE(TryAnalyzeMulticast(tracer, 0, &missing).has_value());
+  EXPECT_EQ(missing, "ni-deliver, host-deliver");
+}
+
+TEST(TryAnalyzeMulticast, TrialFilterSeparatesMergedStreams) {
+  // Two trials, same mcast_id 0: trial 0 is complete, trial 1 is not.
+  Tracer tracer;
+  tracer.set_trial(0);
+  tracer.Record({0, TraceKind::kSendStart, 0, 0, 3, -1});
+  tracer.Record({5, TraceKind::kHeadArrive, 0, 0, 1, 2});
+  tracer.Record({9, TraceKind::kNiDeliver, 0, 0, 7, -1});
+  tracer.Record({20, TraceKind::kHostDeliver, 0, 0, 7, -1});
+  tracer.set_trial(1);
+  tracer.Record({0, TraceKind::kSendStart, 0, 0, 4, -1});
+
+  EXPECT_TRUE(TryAnalyzeMulticast(tracer, 0, nullptr, 0).has_value());
+  std::string missing;
+  EXPECT_FALSE(TryAnalyzeMulticast(tracer, 0, &missing, 1).has_value());
+  EXPECT_EQ(missing, "head-arrive, ni-deliver, host-deliver");
+  // kAllTrials sees the union (complete via trial 0).
+  EXPECT_TRUE(TryAnalyzeMulticast(tracer, 0).has_value());
+}
+
+TEST(AnalyzeMulticastDeathTest, IncompleteTraceAbortsNamingMissingKinds) {
+  Tracer tracer;
+  tracer.Record({0, TraceKind::kSendStart, 7, 0, 3, -1});
+  EXPECT_DEATH(
+      AnalyzeMulticast(tracer, 7),
+      "incomplete trace for multicast 7: missing head-arrive, ni-deliver, "
+      "host-deliver");
+}
+
+TEST(Breakdown, TreeWormVsBinomialOnSameTopology) {
+  // Same topology, same destination set: the single-worm scheme must
+  // beat the multi-phase software baseline on total latency, and its
+  // network span is one pipelined pass instead of phase-many.
+  SimConfig cfg;
+  const std::vector<NodeId> dests{5, 9, 13, 21, 26, 29};
+  Tracer tree_trace;
+  const auto tree_id =
+      PlayTraced(tree_trace, SchemeKind::kTreeWorm, dests, cfg);
+  Tracer bin_trace;
+  const auto bin_id =
+      PlayTraced(bin_trace, SchemeKind::kUnicastBinomial, dests, cfg);
+
+  const LatencyBreakdown tree = AnalyzeMulticast(tree_trace, tree_id);
+  const LatencyBreakdown bin = AnalyzeMulticast(bin_trace, bin_id);
+  EXPECT_LT(tree.Total(), bin.Total());
+  EXPECT_LT(tree.Network(), bin.Network());
+  // Both decompositions are exact three-way splits.
+  EXPECT_EQ(tree.SourceSoftware() + tree.Network() + tree.DestinationSoftware(),
+            tree.Total());
+  EXPECT_EQ(bin.SourceSoftware() + bin.Network() + bin.DestinationSoftware(),
+            bin.Total());
+}
+
+TEST(Breakdown, MultiPacketMessageCoversAllPackets) {
+  // A 4-packet message: the analysis must span from the first packet's
+  // send to the last packet's delivery, strictly longer than the
+  // single-packet message's network window on the same path.
+  SimConfig cfg;
+  const std::vector<NodeId> dests{5, 13, 21};
+  Tracer one_trace;
+  const auto one_id = PlayTraced(one_trace, SchemeKind::kTreeWorm, dests, cfg);
+  const LatencyBreakdown one = AnalyzeMulticast(one_trace, one_id);
+
+  cfg.message.num_packets = 4;
+  Tracer four_trace;
+  const auto four_id =
+      PlayTraced(four_trace, SchemeKind::kTreeWorm, dests, cfg);
+  const LatencyBreakdown four = AnalyzeMulticast(four_trace, four_id);
+
+  // All four packets show up in the trace.
+  int max_pkt = 0;
+  four_trace.ForEach([&max_pkt, four_id](const TraceEvent& e) {
+    if (e.mcast_id == four_id && e.pkt_index > max_pkt) max_pkt = e.pkt_index;
+  });
+  EXPECT_EQ(max_pkt, 3);
+  EXPECT_GT(four.Network(), one.Network());
+  EXPECT_GT(four.Total(), one.Total());
+  EXPECT_EQ(four.SourceSoftware() + four.Network() + four.DestinationSoftware(),
+            four.Total());
+}
+
+TEST(BlockingAttribution, SumsExactlyToFabricBlockedCycles) {
+  // A contended open-loop run: the trace-derived stall total must equal
+  // the fabric.blocked_cycles counter of the very same run, and the
+  // ranked report must partition it.
+  SetParallelThreads(2);
+  LoadRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.degree = 8;
+  spec.effective_load = 0.4;
+  spec.horizon = 20'000;
+  spec.warmup = 2'000;
+  spec.topologies = 2;
+  Tracer tracer;
+  spec.tracer = &tracer;
+  const LoadRunResult r = RunLoadSweepPoint(spec);
+  SetParallelThreads(0);
+  ASSERT_GT(r.completed, 0);
+
+  const Cycles counter =
+      r.metrics.counters().at("fabric.blocked_cycles").value;
+  ASSERT_GT(counter, 0) << "scenario is not contended enough";
+  EXPECT_EQ(TotalBlockedCycles(tracer), counter);
+
+  const auto ranked = AttributeBlocking(tracer);
+  ASSERT_FALSE(ranked.empty());
+  Cycles ranked_sum = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_GT(ranked[i].blocked_cycles, 0);
+    EXPECT_GT(ranked[i].intervals, 0);
+    if (i > 0) {  // descending, deterministic
+      EXPECT_GE(ranked[i - 1].blocked_cycles, ranked[i].blocked_cycles);
+    }
+    ranked_sum += ranked[i].blocked_cycles;
+  }
+  EXPECT_EQ(ranked_sum, counter);
+}
+
+TEST(CriticalPath, StallsAreClippedToTheNetworkWindow) {
+  SetParallelThreads(1);
+  LoadRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.degree = 8;
+  spec.effective_load = 0.4;
+  spec.horizon = 20'000;
+  spec.warmup = 2'000;
+  spec.topologies = 1;
+  Tracer tracer;
+  spec.tracer = &tracer;
+  RunLoadSweepPoint(spec);
+  SetParallelThreads(0);
+
+  // Find a multicast with at least one stall inside its window.
+  bool found = false;
+  for (const BlockInterval& iv : BlockIntervals(tracer)) {
+    const auto report = AnalyzeCriticalPath(tracer, iv.mcast_id, iv.trial);
+    if (!report || report->stalls.empty()) continue;
+    found = true;
+    Cycles sum = 0;
+    for (const BlockInterval& s : report->stalls) {
+      EXPECT_GE(s.begin, report->breakdown.network_entry);
+      EXPECT_LE(s.end, report->breakdown.last_ni_arrival);
+      EXPECT_GT(s.Duration(), 0);
+      EXPECT_EQ(s.mcast_id, iv.mcast_id);
+      sum += s.Duration();
+    }
+    EXPECT_EQ(sum, report->stalled_cycles);
+    // Note: stalled_cycles may exceed Network() — branches of one worm
+    // can stall on several channels concurrently, and the account is a
+    // per-channel sum, not a wall-clock union.
+    EXPECT_NE(report->last_dest, kInvalidNode);
+    break;
+  }
+  EXPECT_TRUE(found) << "no multicast with in-window stalls in this run";
+}
+
+TEST(CriticalPath, IncompleteMulticastYieldsNullopt) {
+  Tracer tracer;
+  tracer.Record({0, TraceKind::kSendStart, 3, 0, 1, -1});
+  EXPECT_FALSE(AnalyzeCriticalPath(tracer, 3).has_value());
+}
+
+TEST(BlockIntervals, OrphanEndsFromRingCapAreSkipped) {
+  // Cap of 1: the begin is overwritten by its end; the orphan end must
+  // not produce an interval (nor crash).
+  Tracer tracer(1);
+  tracer.Record({5, TraceKind::kBlockBegin, 0, 0, 2, 1});
+  tracer.Record({9, TraceKind::kBlockEnd, 0, 0, 2, 1});
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_TRUE(BlockIntervals(tracer).empty());
+  EXPECT_EQ(TotalBlockedCycles(tracer), 0);
+}
+
+}  // namespace
+}  // namespace irmc

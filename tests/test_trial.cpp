@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -140,10 +142,11 @@ TEST(Trial, ForceSerialRunsOneTrialAtATime) {
       /*force_serial=*/true);
 }
 
-TEST(Trial, TracerForcesSerialAndRecordsEveryTrial) {
-  // A tracer-attached run must not race: trials execute serially even
-  // with a wide executor configured, and the tracer sees events from
-  // every trial's multicasts.
+TEST(Trial, TracedRunStaysParallelAndRecordsEveryTrial) {
+  // Tracing must not serialise the sweep: each trial records into its
+  // own Tracer (stamped with its index), appended in trial-index order
+  // into the caller's sink — so a wide executor still sees events from
+  // every trial, ordered by trial.
   ThreadsGuard guard;
   SetParallelThreads(8);
   Tracer tracer;
@@ -155,6 +158,15 @@ TEST(Trial, TracerForcesSerialAndRecordsEveryTrial) {
   const SingleRunResult with_tracer = RunSingleMulticast(spec);
   EXPECT_EQ(with_tracer.samples, 3);
   EXPECT_GT(tracer.size(), 0u);
+
+  std::set<std::int32_t> trials_seen;
+  std::int32_t prev_trial = 0;
+  tracer.ForEach([&](const TraceEvent& e) {
+    trials_seen.insert(e.trial);
+    EXPECT_GE(e.trial, prev_trial);  // merged in trial-index order
+    prev_trial = e.trial;
+  });
+  EXPECT_EQ(trials_seen.size(), 3u);
 
   // The traced run reports the same statistics as an untraced one.
   spec.tracer = nullptr;

@@ -8,10 +8,18 @@
 //   irmcsim_cli dsm     --scheme path-worm [--sharers 8] ...
 //   irmcsim_cli topology [--seed 7] [--dot] [--save FILE] ...
 //   irmcsim_cli trace   --scheme tree-worm [--size 8] [--seed 42]
+//                       [--out FILE]
+//
+// single/load/dsm accept `--trace FILE[:CAP]`: each trial records into
+// its own (optionally ring-capped) tracer and the merged stream — byte
+// identical for any --threads value — is written as JSONL (.jsonl) or
+// Chrome trace-event JSON (anything else). `tools/irmc_trace` analyses
+// the JSONL form.
 //
 // Every command prints human-readable results; `topology --dot` emits
 // Graphviz on stdout for piping into `dot -Tsvg`.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -28,6 +36,7 @@
 #include "topology/serialize.hpp"
 #include "topology/system.hpp"
 #include "trace/analysis.hpp"
+#include "trace/export.hpp"
 #include "trace/tracer.hpp"
 #include "workloads/dsm.hpp"
 
@@ -67,6 +76,47 @@ int MaybeWriteMetrics(const Args& args, const MetricsRegistry& reg) {
   return 0;
 }
 
+/// --trace FILE[:CAP]: attach a trace sink to single/load/dsm. CAP (a
+/// trailing all-digit suffix after the last ':') bounds each per-trial
+/// tracer to a ring of that many events. The merged stream is written
+/// on success: .jsonl -> JSONL, anything else -> Chrome trace JSON.
+struct TraceSpec {
+  std::string path;
+  std::size_t cap = 0;
+  bool enabled() const { return !path.empty(); }
+};
+
+TraceSpec GetTraceSpec(const Args& args) {
+  TraceSpec t;
+  std::string v = args.GetString("trace", "");
+  if (v.empty()) return t;
+  const auto colon = v.rfind(':');
+  if (colon != std::string::npos && colon + 1 < v.size()) {
+    const std::string suffix = v.substr(colon + 1);
+    bool digits = true;
+    for (char c : suffix) digits = digits && c >= '0' && c <= '9';
+    if (digits) {
+      t.cap = static_cast<std::size_t>(
+          std::strtoull(suffix.c_str(), nullptr, 10));
+      v = v.substr(0, colon);
+    }
+  }
+  t.path = v;
+  return t;
+}
+
+int MaybeWriteTrace(const TraceSpec& spec, const Tracer& tracer) {
+  if (!spec.enabled()) return 0;
+  if (!WriteFile(spec.path, SerializeTraceForPath(tracer, spec.path))) {
+    std::fprintf(stderr, "cannot write %s\n", spec.path.c_str());
+    return 1;
+  }
+  std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
+              spec.path.c_str(), tracer.size(),
+              static_cast<unsigned long long>(tracer.dropped()));
+  return 0;
+}
+
 /// Common --switches/--nodes/--ports/--packets/--ratio/--seed handling.
 SimConfig ConfigFrom(const Args& args) {
   SimConfig cfg;
@@ -99,6 +149,10 @@ int Usage() {
                "IRMC_THREADS or all cores)\n"
                "         --metrics FILE  (single/load/dsm: write merged "
                "metrics; .json/.jsonl/.csv)\n"
+               "         --trace FILE[:CAP]  (single/load/dsm: write merged "
+               "event trace;\n"
+               "                      .jsonl, else Chrome trace JSON; CAP "
+               "caps each trial's ring)\n"
                "load:    --pattern uniform|clustered|hotspot\n");
   return 2;
 }
@@ -112,12 +166,19 @@ int CmdSingle(const Args& args) {
   spec.multicast_size = static_cast<int>(args.GetInt("size", 15));
   spec.topologies = static_cast<int>(args.GetInt("topologies", 10));
   spec.samples_per_topology = static_cast<int>(args.GetInt("samples", 4));
+  const TraceSpec tspec = GetTraceSpec(args);
+  Tracer tracer;
+  if (tspec.enabled()) {
+    spec.tracer = &tracer;
+    spec.trace_cap = tspec.cap;
+  }
   const SingleRunResult r = RunSingleMulticast(spec);
   std::printf("%s %d-way: mean %.1f cycles (%.2f us), min %.0f, max %.0f "
               "over %d samples\n",
               ToString(*scheme), spec.multicast_size, r.mean_latency,
               r.mean_latency * spec.cfg.cycle_ns / 1000.0, r.min_latency,
               r.max_latency, r.samples);
+  if (const int rc = MaybeWriteTrace(tspec, tracer)) return rc;
   return MaybeWriteMetrics(args, r.metrics);
 }
 
@@ -139,6 +200,12 @@ int CmdLoad(const Args& args) {
     spec.pattern = DestPattern::kHotspot;
   else if (pattern != "uniform")
     return Usage();
+  const TraceSpec tspec = GetTraceSpec(args);
+  Tracer tracer;
+  if (tspec.enabled()) {
+    spec.tracer = &tracer;
+    spec.trace_cap = tspec.cap;
+  }
   const LoadRunResult r = RunLoadSweepPoint(spec);
   std::printf("%s %d-way at load %.2f: mean %.1f / p50 %.1f / p95 %.1f "
               "cycles, %ld completed, %ld unfinished%s\n",
@@ -148,6 +215,7 @@ int CmdLoad(const Args& args) {
   std::printf("  achieved throughput %.3f flits/cycle/host, hottest link "
               "%.0f%% busy\n",
               r.achieved_throughput, 100.0 * r.max_link_utilization);
+  if (const int rc = MaybeWriteTrace(tspec, tracer)) return rc;
   return MaybeWriteMetrics(args, r.metrics);
 }
 
@@ -159,12 +227,19 @@ int CmdDsm(const Args& args) {
   params.sharers_per_line = static_cast<int>(args.GetInt("sharers", 8));
   params.write_interarrival = args.GetDouble("interarrival", 50'000.0);
   params.topologies = static_cast<int>(args.GetInt("topologies", 3));
+  const TraceSpec tspec = GetTraceSpec(args);
+  Tracer tracer;
+  if (tspec.enabled()) {
+    params.tracer = &tracer;
+    params.trace_cap = tspec.cap;
+  }
   const DsmResult r = RunDsmInvalidation(cfg, *scheme, params);
   std::printf("%s invalidations, %d sharers/line: mean write stall %.1f "
               "cycles, p95 %.1f, %ld/%ld writes completed\n",
               ToString(*scheme), params.sharers_per_line,
               r.mean_write_latency, r.p95_write_latency, r.writes_completed,
               r.writes_started);
+  if (const int rc = MaybeWriteTrace(tspec, tracer)) return rc;
   return MaybeWriteMetrics(args, r.metrics);
 }
 
@@ -223,7 +298,16 @@ int CmdTrace(const Args& args) {
               static_cast<long long>(b.Network()),
               static_cast<long long>(b.DestinationSoftware()),
               static_cast<long long>(b.Total()));
-  tracer.Dump(stdout);
+  const std::string out_path = args.GetString("out", "");
+  if (out_path.empty()) {
+    tracer.Dump(stdout);
+    return 0;
+  }
+  if (!WriteFile(out_path, SerializeTraceForPath(tracer, out_path))) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote trace to %s\n", out_path.c_str());
   return 0;
 }
 
