@@ -3,7 +3,9 @@
 // Zero-load latencies must agree exactly (they are the same physics at
 // two granularities); with input buffers smaller than a packet the flit
 // engine additionally exhibits true wormhole blocking, which the VCT
-// abstraction cannot express. This bench quantifies both.
+// abstraction cannot express. This bench quantifies both. The exact
+// zero-load agreement here is also enforced as a ctest
+// (engine_xcheck_smoke, tests/test_engine_xcheck.cpp).
 #include <cstdio>
 #include <map>
 
@@ -43,12 +45,17 @@ std::map<NodeId, Cycles> RunVct(const System& sys, const PacketPtr& pkt) {
 
 std::map<NodeId, Cycles> RunFlitLevel(const System& sys, const PacketPtr& pkt,
                                       int buffer_flits) {
-  FlitEngineParams params;
+  Engine engine;
+  NetParams params;
+  params.adaptive = false;
   params.buffer_flits = buffer_flits;
-  FlitEngine engine(sys, params);
-  engine.Inject(0, std::make_shared<Packet>(*pkt), 0);
   std::map<NodeId, Cycles> tails;
-  for (const auto& d : engine.Run()) tails[d.node] = d.tail_arrive;
+  FlitEngine flit(engine, sys, params,
+                  [&](NodeId n, const PacketPtr&, Cycles, Cycles t) {
+                    tails[n] = t;
+                  });
+  flit.InjectFromNi(0, std::make_shared<Packet>(*pkt), 0);
+  engine.RunToQuiescence();
   return tails;
 }
 
@@ -110,15 +117,19 @@ int main() {
     return pkt;
   };
   for (int buffer : {256, 128, 32, 8, 4}) {
-    FlitEngineParams params;
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
     params.buffer_flits = buffer;
-    FlitEngine engine(spur_sys, params);
-    engine.Inject(1, mk(1, 2, 128), 0);   // blocker: holds B->C first
-    engine.Inject(0, mk(0, 2, 128), 4);   // victim: blocks behind it at B
-    engine.Inject(0, mk(0, 3, 16), 8);    // probe: same source, spur dest
     Cycles probe_tail = 0;
-    for (const auto& d : engine.Run())
-      if (d.node == 3) probe_tail = d.tail_arrive;
+    FlitEngine flit(engine, spur_sys, params,
+                    [&](NodeId n, const PacketPtr&, Cycles, Cycles t) {
+                      if (n == 3) probe_tail = t;
+                    });
+    flit.InjectFromNi(1, mk(1, 2, 128), 0);  // blocker: holds B->C first
+    flit.InjectFromNi(0, mk(0, 2, 128), 4);  // victim: blocks behind it at B
+    flit.InjectFromNi(0, mk(0, 3, 16), 8);   // probe: same source, spur dest
+    engine.RunToQuiescence();
     blocking.AddRow(
         {static_cast<double>(buffer), static_cast<double>(probe_tail)});
   }

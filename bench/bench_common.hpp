@@ -13,6 +13,10 @@
 //   IRMC_METRICS_DIR directory for per-point metric sidecars
 //                    (<slug>.metrics.jsonl, one JSON line per data
 //                    point; default "."; set empty to disable).
+//   IRMC_ENGINE      network engine for every panel: "vct" (default) or
+//                    "flit". IRMC_ENGINE=flit replays the same figures
+//                    on the flit-level wormhole engine (see
+//                    docs/engines.md); anything else aborts.
 #pragma once
 
 #include <cctype>
@@ -103,10 +107,25 @@ class MetricsSidecar {
   std::string path_;  ///< empty = disabled
 };
 
+/// Applies the IRMC_ENGINE override (if set) to a panel's config.
+/// Aborts on an unknown engine name — a typo'd env var silently
+/// benchmarking the wrong engine would poison every figure.
+inline SimConfig WithEnvEngine(SimConfig cfg) {
+  const char* name = std::getenv("IRMC_ENGINE");
+  if (name == nullptr || *name == '\0') return cfg;
+  if (!EngineKindFromString(name, &cfg.engine)) {
+    std::fprintf(stderr, "IRMC_ENGINE='%s' is not an engine (vct, flit)\n",
+                 name);
+    std::abort();
+  }
+  return cfg;
+}
+
 /// One single-multicast panel: latency per scheme over multicast sizes.
 inline SeriesTable SingleMulticastPanel(const std::string& title,
-                                        const SimConfig& cfg,
+                                        const SimConfig& cfg_in,
                                         const std::vector<int>& sizes) {
+  const SimConfig cfg = WithEnvEngine(cfg_in);
   SeriesTable table(title, SchemeColumns("mcast_size"));
   MetricsSidecar sidecar(title);
   const int topologies = EnvInt("IRMC_TOPOLOGIES", 10);
@@ -131,8 +150,9 @@ inline SeriesTable SingleMulticastPanel(const std::string& title,
 
 /// One load panel: mean latency per scheme over effective applied loads;
 /// saturated points are tagged "sat".
-inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg,
+inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg_in,
                              int degree, const std::vector<double>& loads) {
+  const SimConfig cfg = WithEnvEngine(cfg_in);
   SeriesTable table(title, SchemeColumns("eff_load"));
   MetricsSidecar sidecar(title);
   const int topologies = EnvInt("IRMC_LOAD_TOPOS", 2);

@@ -1,14 +1,16 @@
-// Simulator performance (google-benchmark): event throughput of the VCT
-// engine, topology construction, and plan construction. Not a paper
-// figure — this guards the harness's own speed so the load sweeps stay
-// tractable.
+// Simulator performance (google-benchmark): event throughput of both
+// network engines (VCT and flit-level), topology construction, and plan
+// construction. Not a paper figure — this guards the harness's own
+// speed so the load sweeps stay tractable.
 //
 // After the google-benchmark suites, a custom main times an identical
-// load sweep point with metrics collection on and off, reports both in
-// events/sec, and writes BENCH_perfE.json (to IRMC_METRICS_DIR, default
-// ".") with the measured overhead. Overhead above 5% prints a FAIL line
-// but exits 0 — the gate is informational; timing noise on shared CI
-// runners must not turn it into a flake.
+// load sweep point on each engine (and, for the VCT engine, with
+// metrics collection on and off), reports everything in events/sec
+// side by side, and writes BENCH_perfE.json (to IRMC_METRICS_DIR,
+// default ".") with both engine series and the measured metrics
+// overhead. Overhead above 5% prints a FAIL line but exits 0 — the
+// gate is informational; timing noise on shared CI runners must not
+// turn it into a flake.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -69,10 +71,14 @@ void BM_SingleMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleMulticast)->DenseRange(0, 3);
 
-void BM_LoadedFabricEventRate(benchmark::State& state) {
-  // Events per second of the VCT engine under open multicast load.
+void BM_LoadedEngineEventRate(benchmark::State& state) {
+  // Events per second of one network engine under open multicast load.
+  // Arg 0 = VCT, arg 1 = flit-level; an "event" is one sim-kernel event
+  // (a hop for VCT, a busy cycle for the flit engine), so the two rates
+  // quantify the granularity gap, not just implementation speed.
   const auto sys = System::Build({}, 42);
   SimConfig cfg;
+  cfg.engine = static_cast<EngineKind>(state.range(0));
   std::uint64_t events = 0;
   for (auto _ : state) {
     Engine engine;
@@ -95,7 +101,7 @@ void BM_LoadedFabricEventRate(benchmark::State& state) {
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_LoadedFabricEventRate);
+BENCHMARK(BM_LoadedEngineEventRate)->DenseRange(0, 1);
 
 void BM_LoadSweepEventRate(benchmark::State& state) {
   // Events per wall-clock second of a whole load sweep point when its
@@ -124,7 +130,8 @@ void BM_LoadSweepEventRate(benchmark::State& state) {
 BENCHMARK(BM_LoadSweepEventRate)->Arg(1)->Arg(4)->UseRealTime();
 
 // ---------------------------------------------------------------------
-// Metrics-overhead gate (custom main, after the google-benchmark run).
+// Engine comparison + metrics-overhead gate (custom main, after the
+// google-benchmark run).
 
 /// One timed pass over a load sweep point. Returns (events, seconds).
 struct TimedSweep {
@@ -135,8 +142,9 @@ struct TimedSweep {
   }
 };
 
-TimedSweep TimeSweep(bool collect_metrics) {
+TimedSweep TimeSweep(EngineKind engine, bool collect_metrics) {
   LoadRunSpec spec;
+  spec.cfg.engine = engine;
   spec.scheme = SchemeKind::kTreeWorm;
   spec.degree = 8;
   spec.effective_load = 0.3;
@@ -153,22 +161,41 @@ TimedSweep TimeSweep(bool collect_metrics) {
   return out;
 }
 
-/// Measures events/sec with metrics on vs. off (best of kReps each,
-/// alternating so thermal/frequency drift hits both modes), prints the
-/// comparison, and writes BENCH_perfE.json. Always returns 0.
-int RunMetricsOverheadGate() {
+/// JSON fragment for one timed series.
+std::string SweepJson(const TimedSweep& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"events\":%llu,\"seconds\":%.17g,\"events_per_sec\":%.17g}",
+                static_cast<unsigned long long>(s.events), s.seconds,
+                s.EventsPerSec());
+  return buf;
+}
+
+/// Times the same load sweep point on both engines side by side, plus
+/// the VCT engine with metrics off (best of kReps each, alternating so
+/// thermal/frequency drift hits every mode), prints the comparison, and
+/// writes BENCH_perfE.json with both engine series. Always returns 0.
+int RunEngineComparisonAndMetricsGate() {
   constexpr int kReps = 3;
   constexpr double kGatePct = 5.0;
   SetParallelThreads(1);  // serial: wall time == work, no scheduler noise
-  TimeSweep(true);        // warm caches/allocator before measuring
-  TimedSweep best_on, best_off;
+  TimeSweep(EngineKind::kVct, true);   // warm caches/allocator
+  TimeSweep(EngineKind::kFlit, true);  // before measuring
+  TimedSweep best_on, best_off, best_flit;
   for (int rep = 0; rep < kReps; ++rep) {
-    const TimedSweep on = TimeSweep(true);
-    const TimedSweep off = TimeSweep(false);
+    const TimedSweep on = TimeSweep(EngineKind::kVct, true);
+    const TimedSweep off = TimeSweep(EngineKind::kVct, false);
+    const TimedSweep flit = TimeSweep(EngineKind::kFlit, true);
     if (rep == 0 || on.seconds < best_on.seconds) best_on = on;
     if (rep == 0 || off.seconds < best_off.seconds) best_off = off;
+    if (rep == 0 || flit.seconds < best_flit.seconds) best_flit = flit;
   }
   SetParallelThreads(0);  // restore IRMC_THREADS / hardware default
+
+  std::printf("engine speed (same sweep point): vct %.3g events/s in %.3gs, "
+              "flit %.3g events/s in %.3gs\n",
+              best_on.EventsPerSec(), best_on.seconds,
+              best_flit.EventsPerSec(), best_flit.seconds);
 
   const double overhead_pct =
       best_off.seconds > 0.0
@@ -183,21 +210,19 @@ int RunMetricsOverheadGate() {
   const char* env_dir = std::getenv("IRMC_METRICS_DIR");
   const std::string dir = env_dir != nullptr ? env_dir : ".";
   if (!dir.empty()) {
-    char buf[512];
-    std::snprintf(
-        buf, sizeof buf,
-        "{\"bench\":\"perfE_simspeed\",\"gate_pct\":%.17g,"
-        "\"metrics_on\":{\"events\":%llu,\"seconds\":%.17g,"
-        "\"events_per_sec\":%.17g},"
-        "\"metrics_off\":{\"events\":%llu,\"seconds\":%.17g,"
-        "\"events_per_sec\":%.17g},"
-        "\"overhead_pct\":%.17g,\"pass\":%s}\n",
-        kGatePct, static_cast<unsigned long long>(best_on.events),
-        best_on.seconds, best_on.EventsPerSec(),
-        static_cast<unsigned long long>(best_off.events), best_off.seconds,
-        best_off.EventsPerSec(), overhead_pct, pass ? "true" : "false");
+    std::string json = "{\"bench\":\"perfE_simspeed\",";
+    json += "\"engines\":{\"vct\":" + SweepJson(best_on) +
+            ",\"flit\":" + SweepJson(best_flit) + "},";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\"gate_pct\":%.17g,\"metrics_on\":", kGatePct);
+    json += buf;
+    json += SweepJson(best_on) + ",\"metrics_off\":" + SweepJson(best_off);
+    std::snprintf(buf, sizeof buf, ",\"overhead_pct\":%.17g,\"pass\":%s}\n",
+                  overhead_pct, pass ? "true" : "false");
+    json += buf;
     const std::string path = dir + "/BENCH_perfE.json";
-    if (!WriteFile(path, buf))
+    if (!WriteFile(path, json))
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
     else
       std::printf("wrote %s\n", path.c_str());
@@ -212,5 +237,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return RunMetricsOverheadGate();
+  return RunEngineComparisonAndMetricsGate();
 }

@@ -1,5 +1,7 @@
 #include "common/args.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace irmc {
@@ -56,6 +58,23 @@ double Args::GetDouble(const std::string& key, double fallback) const {
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
   return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+std::string Args::GetChoice(const std::string& key, const std::string& fallback,
+                            const std::vector<std::string>& allowed) const {
+  consumed_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (std::find(allowed.begin(), allowed.end(), it->second) != allowed.end())
+    return it->second;
+  std::string accepted;
+  for (const std::string& a : allowed) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += a;
+  }
+  std::fprintf(stderr, "invalid value for --%s: '%s' (accepted: %s)\n",
+               key.c_str(), it->second.c_str(), accepted.c_str());
+  std::exit(2);
 }
 
 bool Args::GetFlag(const std::string& key) const {

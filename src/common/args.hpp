@@ -29,6 +29,13 @@ class Args {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetFlag(const std::string& key) const;
 
+  /// Enum-valued option: the provided value must be one of `allowed`,
+  /// otherwise the process exits with status 2 after printing the
+  /// accepted values (a typo must not silently fall back to the
+  /// default). Returns `fallback` when the key is absent.
+  std::string GetChoice(const std::string& key, const std::string& fallback,
+                        const std::vector<std::string>& allowed) const;
+
   /// Stray non-flag tokens after the command word (file operands, ...),
   /// in argv order; marks them consumed.
   std::vector<std::string> Positionals() const;

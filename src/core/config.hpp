@@ -6,7 +6,7 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "network/fabric.hpp"
+#include "network/network_model.hpp"
 #include "topology/generator.hpp"
 
 namespace irmc {
@@ -77,6 +77,10 @@ struct SimConfig {
   HostParams host;
   MessageShape message;
   HeaderSizing headers;
+  /// Which network engine plays the plan (CLI `--engine vct|flit`); both
+  /// honour `net` (the flit engine additionally uses buffer_flits and
+  /// deadlock_horizon). See docs/engines.md.
+  EngineKind engine = EngineKind::kVct;
   std::uint64_t seed = 1;
 
   /// Cycle time in nanoseconds, used only for human-readable reports.

@@ -24,8 +24,8 @@ McastDriver::McastDriver(Engine& engine, const System& sys,
     m_.io_dma_transfers = &metrics->GetCounter("io.dma_transfers");
   }
   nodes_.resize(static_cast<std::size_t>(sys.num_nodes()));
-  fabric_ = std::make_unique<Fabric>(
-      engine, sys, cfg.net,
+  network_ = MakeNetworkModel(
+      cfg.engine, engine, sys, cfg.net,
       [this](NodeId n, const PacketPtr& pkt, Cycles head, Cycles tail) {
         OnDeliver(n, pkt, head, tail);
       },
@@ -111,7 +111,7 @@ void McastDriver::ConventionalSendToOne(Exec& exec, NodeId u, NodeId c,
     pkt->kind = HeaderKind::kUnicast;
     pkt->uni_dest = c;
     pkt->header_flits = cfg_.headers.UnicastFlits();
-    fabric_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
+    network_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
   }
 }
 
@@ -152,7 +152,7 @@ void McastDriver::SmartSourceSend(Exec& exec) {
       pkt->kind = HeaderKind::kUnicast;
       pkt->uni_dest = c;
       pkt->header_flits = cfg_.headers.UnicastFlits();
-      fabric_->InjectFromNi(u, std::move(pkt), ready);
+      network_->InjectFromNi(u, std::move(pkt), ready);
     }
   }
 }
@@ -177,7 +177,7 @@ void McastDriver::SmartForward(Exec& exec, NodeId u, int pkt_index,
     pkt->kind = HeaderKind::kUnicast;
     pkt->uni_dest = c;
     pkt->header_flits = cfg_.headers.UnicastFlits();
-    fabric_->InjectFromNi(u, std::move(pkt), ready);
+    network_->InjectFromNi(u, std::move(pkt), ready);
   }
 }
 
@@ -227,7 +227,7 @@ void McastDriver::SendTreeWorms(Exec& exec) {
       pkt->kind = HeaderKind::kTreeWorm;
       pkt->tree_dests = region.dests;
       pkt->header_flits = region.header_flits;
-      fabric_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
+      network_->InjectFromNi(u, std::move(pkt), std::max(ni, dma_done));
     }
   }
 }
@@ -261,7 +261,7 @@ void McastDriver::SendWormsOf(Exec& exec, NodeId sender, Cycles earliest) {
       pkt->path = worm.route;
       pkt->path_cursor = 0;
       pkt->header_flits = worm.header_flits;
-      fabric_->InjectFromNi(sender, std::move(pkt), std::max(ni, dma_done));
+      network_->InjectFromNi(sender, std::move(pkt), std::max(ni, dma_done));
     }
   }
 }

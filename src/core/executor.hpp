@@ -29,7 +29,7 @@
 #include "core/config.hpp"
 #include "mcast/scheme.hpp"
 #include "metrics/metrics.hpp"
-#include "network/fabric.hpp"
+#include "network/network_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "topology/system.hpp"
@@ -54,14 +54,15 @@ struct MulticastResult {
   Cycles Latency() const { return completion - start; }
 };
 
-/// Owns the fabric, the per-node resources, and all in-flight multicasts.
+/// Owns the network engine (whichever SimConfig::engine selects), the
+/// per-node resources, and all in-flight multicasts.
 class McastDriver {
  public:
   using DoneFn = std::function<void(const MulticastResult&)>;
   /// Per-destination notification: (destination, host delivery time).
   using DeliveredFn = std::function<void(NodeId, Cycles)>;
 
-  /// `metrics` (optional, also handed to the owned Fabric) receives the
+  /// `metrics` (optional, also handed to the owned engine) receives the
   /// host/NI/I-O overhead accounting and per-multicast metrics — see
   /// docs/metrics.md. Both the registry and the tracer are per-trial
   /// state (each Trial owns its own), so neither forces serial trial
@@ -78,7 +79,7 @@ class McastDriver {
   std::int64_t Launch(McastPlan plan, Cycles when, DoneFn done,
                       DeliveredFn delivered = nullptr);
 
-  Fabric& fabric() { return *fabric_; }
+  NetworkModel& network() { return *network_; }
   NodeRuntime& node(NodeId n) {
     return nodes_[static_cast<std::size_t>(n)];
   }
@@ -156,7 +157,7 @@ class McastDriver {
   Tracer* tracer_;
   DriverMetrics m_;
   std::vector<NodeRuntime> nodes_;
-  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<NetworkModel> network_;
   std::unordered_map<std::int64_t, std::unique_ptr<Exec>> live_;
   std::int64_t next_id_ = 0;
 };

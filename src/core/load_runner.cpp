@@ -162,11 +162,11 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
     run.Run();
     if (reg) {
       run.engine.CollectMetrics(*reg);
-      run.driver.fabric().CollectMetrics(run.engine.Now());
+      run.driver.network().CollectMetrics(run.engine.Now());
     }
     out.completed = run.completed_measured;
     out.launched = run.launched_measured;
-    out.util_sum = run.driver.fabric().MaxLinkUtilization(run.engine.Now());
+    out.util_sum = run.driver.network().MaxLinkUtilization(run.engine.Now());
     out.events = run.engine.events_executed();
     out.samples = std::move(run.latencies);
     return out;

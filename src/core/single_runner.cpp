@@ -21,7 +21,7 @@ MulticastResult PlayOnce(const System& sys, const SimConfig& cfg,
   IRMC_ENSURE(result.has_value());
   if (metrics) {
     engine.CollectMetrics(*metrics);
-    driver.fabric().CollectMetrics(engine.Now());
+    driver.network().CollectMetrics(engine.Now());
   }
   return *result;
 }

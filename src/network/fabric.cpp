@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "network/route_logic.hpp"
+
 namespace irmc {
 
 Fabric::Fabric(Engine& engine, const System& sys, const NetParams& params,
@@ -147,20 +149,55 @@ void Fabric::CollectMetrics(Cycles now) {
       .Set(static_cast<double>(max_wait));
 }
 
-double Fabric::MaxLinkUtilization(Cycles now) const {
-  double best = 0.0;
-  for (const LinkLoadReport& r : LinkReports(now))
-    if (r.sw != kInvalidSwitch && !r.to_host)
-      best = std::max(best, r.utilization);
-  return best;
-}
-
 void Fabric::Pump(int channel_id) {
+  // Defer the grant decision to the earliest cycle a queued transmission
+  // becomes ready. Same-cycle contenders are all queued by then (their
+  // routes ran in the previous cycle), so Pick sees the full field and
+  // arbitration does not depend on event-scheduling order. For a lone
+  // transmission the timing is unchanged: StartTx reserves the line at
+  // max(now, ready) either way.
   Channel& c = channels_[static_cast<std::size_t>(channel_id)];
   if (c.pumping || c.queue.empty()) return;
+  // Injection channels are strict FIFO (the NI hands packets over in
+  // send order; a future-ready head blocks the queue), so the pick waits
+  // for the front. On switch channels ready order equals queue order
+  // except for same-cycle ties, so aiming at the minimum is the same
+  // thing minus the head-of-line wait.
+  Cycles target = c.queue.front().ready;
+  if (channel_id < sys_.num_switches() * ports_)
+    for (const Tx& t : c.queue) target = std::min(target, t.ready);
+  target = std::max(engine_.Now(), target);
+  engine_.ScheduleAt(target, [this, channel_id]() { Pick(channel_id); });
+}
+
+void Fabric::Pick(int channel_id) {
+  Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  if (c.pumping || c.queue.empty()) return;  // a rival pick already won
+  const Cycles now = engine_.Now();
+  std::size_t best = c.queue.size();
+  if (channel_id >= sys_.num_switches() * ports_) {
+    if (c.queue.front().ready <= now) best = 0;  // injection: FIFO
+  } else {
+    // Grant the transmission that has been ready longest; break
+    // same-cycle ties by input port — an engine-independent rule the
+    // flit engine applies identically (strictly-less keeps queue order
+    // for full ties).
+    for (std::size_t i = 0; i < c.queue.size(); ++i) {
+      const Tx& t = c.queue[i];
+      if (t.ready > now) continue;
+      if (best == c.queue.size() || t.ready < c.queue[best].ready ||
+          (t.ready == c.queue[best].ready &&
+           t.arb_port < c.queue[best].arb_port))
+        best = i;
+    }
+  }
+  if (best == c.queue.size()) {
+    Pump(channel_id);  // everything ready in the future; re-aim the pick
+    return;
+  }
   c.pumping = true;
-  Tx tx = std::move(c.queue.front());
-  c.queue.pop_front();
+  Tx tx = std::move(c.queue[best]);
+  c.queue.erase(c.queue.begin() + static_cast<std::ptrdiff_t>(best));
   if (c.downstream_slot_pool >= 0) {
     auto& pool = input_slots_[static_cast<std::size_t>(c.downstream_slot_pool)];
     pool.Acquire(engine_, [this, channel_id, tx = std::move(tx)]() mutable {
@@ -242,18 +279,13 @@ void Fabric::HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt,
 
 void Fabric::Route(SwitchId s, PacketPtr pkt, Cycles tail_time,
                    const BufferedPtr& buf) {
-  std::vector<Branch> branches;
-  switch (pkt->kind) {
-    case HeaderKind::kUnicast:
-      RouteUnicast(s, pkt, branches);
-      break;
-    case HeaderKind::kTreeWorm:
-      RouteTreeWorm(s, pkt, branches);
-      break;
-    case HeaderKind::kPathWorm:
-      RoutePathWorm(s, pkt, branches);
-      break;
-  }
+  std::vector<RouteBranch> branches;
+  ComputeRouteBranches(
+      sys_, s, pkt, params_.adaptive,
+      [this](SwitchId sw, PortId p) {
+        return channels_[static_cast<std::size_t>(OutChannelId(sw, p))].Load();
+      },
+      branches);
   if (branches.empty()) {
     // Fully consumed here (possible only for degenerate plans); free the
     // buffer once the tail has arrived.
@@ -271,125 +303,15 @@ void Fabric::Route(SwitchId s, PacketPtr pkt, Cycles tail_time,
   }
   Trace(TraceKind::kRoute, *pkt, s, static_cast<std::int32_t>(branches.size()));
   const Cycles ready = engine_.Now() + params_.xbar_delay;
-  for (Branch& b : branches) {
-    Trace(TraceKind::kBranch, *b.pkt, s,
-          static_cast<std::int32_t>(b.channel_id % ports_));
-    if (b.pkt->hop_log)
-      b.pkt->hop_log->push_back(
-          HopRecord{s, static_cast<PortId>(b.channel_id % ports_)});
-    channels_[static_cast<std::size_t>(b.channel_id)].queue.push_back(
-        Tx{std::move(b.pkt), ready, buf});
-    Pump(b.channel_id);
+  const int in_port =
+      buf->slot_pool >= 0 ? buf->slot_pool % ports_ : -1;
+  for (RouteBranch& b : branches) {
+    Trace(TraceKind::kBranch, *b.pkt, s, static_cast<std::int32_t>(b.port));
+    const int cid = OutChannelId(s, b.port);
+    channels_[static_cast<std::size_t>(cid)].queue.push_back(
+        Tx{std::move(b.pkt), ready, buf, in_port});
+    Pump(cid);
   }
-}
-
-Fabric::Branch Fabric::MakeHostBranch(SwitchId s, NodeId n,
-                                      const PacketPtr& pkt) const {
-  const HostAttachment& at = sys_.graph.host(n);
-  IRMC_EXPECT(at.sw == s);
-  auto copy = pkt->CloneForBranch();
-  if (copy->kind == HeaderKind::kTreeWorm) {
-    NodeSet only(copy->tree_dests.capacity());
-    only.Set(n);
-    copy->tree_dests = only;
-  }
-  return Branch{std::move(copy), OutChannelId(s, at.port)};
-}
-
-PortId Fabric::PickAdaptive(SwitchId s,
-                            const std::vector<PortId>& candidates) const {
-  IRMC_EXPECT(!candidates.empty());
-  if (!params_.adaptive) return candidates.front();
-  PortId best = candidates.front();
-  int best_load =
-      channels_[static_cast<std::size_t>(OutChannelId(s, best))].Load();
-  for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const int load =
-        channels_[static_cast<std::size_t>(OutChannelId(s, candidates[i]))]
-            .Load();
-    if (load < best_load) {
-      best = candidates[i];
-      best_load = load;
-    }
-  }
-  return best;
-}
-
-void Fabric::RouteUnicast(SwitchId s, const PacketPtr& pkt,
-                          std::vector<Branch>& out) {
-  const SwitchId dest_sw = sys_.graph.SwitchOf(pkt->uni_dest);
-  if (dest_sw == s) {
-    out.push_back(MakeHostBranch(s, pkt->uni_dest, pkt));
-    return;
-  }
-  const auto& cand = sys_.routing.Candidates(s, dest_sw, pkt->phase);
-  IRMC_ENSURE(!cand.empty());
-  const PortId p = PickAdaptive(s, cand);
-  auto copy = pkt->CloneForBranch();
-  copy->phase = sys_.routing.NextPhase(s, p, pkt->phase);
-  out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
-}
-
-void Fabric::RouteTreeWorm(SwitchId s, const PacketPtr& pkt,
-                           std::vector<Branch>& out) {
-  const Reachability& reach = sys_.reach;
-  NodeSet locals = pkt->tree_dests & reach.Local(s);
-  for (NodeId n : locals.ToVector()) out.push_back(MakeHostBranch(s, n, pkt));
-  NodeSet rem = pkt->tree_dests;
-  rem.Subtract(locals);
-  if (rem.Empty()) return;
-
-  if (rem.IsSubsetOf(reach.DownCover(s))) {
-    // Replicate downward along the partitioned reachability strings.
-    NodeSet covered(rem.capacity());
-    for (PortId p : sys_.updown.DownPorts(s)) {
-      NodeSet part = rem & reach.Primary(s, p);
-      if (part.Empty()) continue;
-      auto copy = pkt->CloneForBranch();
-      copy->tree_dests = part;
-      copy->phase = RoutePhase::kDownOnly;
-      out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
-      covered |= part;
-    }
-    IRMC_ENSURE(covered == rem);
-    return;
-  }
-
-  // Not down-coverable from here: continue climbing toward a least
-  // common ancestor. Legal only while the worm has not gone down.
-  IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
-  const auto& ups = sys_.updown.UpPorts(s);
-  IRMC_ENSURE(!ups.empty());
-  std::vector<PortId> sufficient;
-  for (PortId p : ups) {
-    const SwitchId t = sys_.graph.port(s, p).peer_switch;
-    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
-      sufficient.push_back(p);
-  }
-  const std::vector<PortId>& cand = sufficient.empty() ? ups : sufficient;
-  const PortId p = PickAdaptive(s, cand);
-  auto copy = pkt->CloneForBranch();
-  copy->tree_dests = rem;
-  copy->phase = RoutePhase::kUpAllowed;
-  out.push_back(Branch{std::move(copy), OutChannelId(s, p)});
-}
-
-void Fabric::RoutePathWorm(SwitchId s, const PacketPtr& pkt,
-                           std::vector<Branch>& out) {
-  IRMC_EXPECT(pkt->path != nullptr);
-  IRMC_EXPECT(pkt->path_cursor < pkt->path->steps.size());
-  const PathWormRoute::Step& step = pkt->path->steps[pkt->path_cursor];
-  IRMC_ENSURE(step.sw == s);
-  for (NodeId n : step.deliver) out.push_back(MakeHostBranch(s, n, pkt));
-  if (step.forward_port == kInvalidPort) {
-    IRMC_ENSURE(!step.deliver.empty());  // a worm must end with a drop
-    return;
-  }
-  auto copy = pkt->CloneForBranch();
-  copy->path_cursor = pkt->path_cursor + 1;
-  copy->header_flits = step.header_flits_after;
-  copy->phase = sys_.routing.NextPhase(s, step.forward_port, pkt->phase);
-  out.push_back(Branch{std::move(copy), OutChannelId(s, step.forward_port)});
 }
 
 }  // namespace irmc

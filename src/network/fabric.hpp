@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "network/network_model.hpp"
 #include "network/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -28,33 +28,8 @@
 
 namespace irmc {
 
-/// Per-channel load summary (switch output channels and injections).
-struct LinkLoadReport {
-  SwitchId sw = kInvalidSwitch;  ///< owning switch; kInvalidSwitch for an
-                                 ///< injection channel
-  PortId port = kInvalidPort;
-  NodeId node = kInvalidNode;  ///< set for injections and host ejections
-  bool to_host = false;
-  std::int64_t flits = 0;
-  double utilization = 0.0;  ///< busy cycles / elapsed cycles
-};
-
-struct NetParams {
-  Cycles link_delay = 1;   ///< per-flit wire propagation
-  Cycles route_delay = 1;  ///< header decode + route decision
-  Cycles xbar_delay = 1;   ///< input buffer -> output port
-  int input_slots = 1;     ///< input buffer capacity in packets (VCT)
-  bool adaptive = true;    ///< pick least-loaded candidate port
-  bool record_routes = false;  ///< per-packet hop logs (tests/examples)
-};
-
-class Fabric {
+class Fabric final : public NetworkModel {
  public:
-  /// deliver(node, packet, head_arrive, tail_arrive) fires when a packet
-  /// finishes arriving at a node's network interface.
-  using DeliverFn =
-      std::function<void(NodeId, const PacketPtr&, Cycles, Cycles)>;
-
   /// `metrics` (optional) receives fabric counters/histograms — see
   /// docs/metrics.md for the catalogue. Registry and tracer are both
   /// per-trial state; neither forces serial trial execution.
@@ -62,30 +37,16 @@ class Fabric {
          DeliverFn deliver, Tracer* tracer = nullptr,
          MetricsRegistry* metrics = nullptr);
 
-  Fabric(const Fabric&) = delete;
-  Fabric& operator=(const Fabric&) = delete;
+  void InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready) override;
 
-  /// Queue a packet for injection from node n's NI into its switch. The
-  /// transmission begins once the injection channel is free, the switch
-  /// input buffer has a slot, and `ready` has passed (data present at
-  /// the NI).
-  void InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready);
+  int InjectionBacklog(NodeId n) const override;
 
-  /// Packets queued or in flight on node n's injection channel.
-  int InjectionBacklog(NodeId n) const;
+  std::int64_t TotalBacklog() const override;
 
-  /// Total packets currently queued on all channels (saturation metric).
-  std::int64_t TotalBacklog() const;
-
-  std::int64_t flits_sent() const { return flits_sent_; }
+  std::int64_t flits_sent() const override { return flits_sent_; }
   std::int64_t packets_switched() const { return packets_switched_; }
 
-  /// Load report for every wired channel, as of time `now`. Switch
-  /// output channels first (in (switch, port) order), then injections.
-  std::vector<LinkLoadReport> LinkReports(Cycles now) const;
-
-  /// Highest switch-to-switch link utilization (hot-spot metric).
-  double MaxLinkUtilization(Cycles now) const;
+  std::vector<LinkLoadReport> LinkReports(Cycles now) const override;
 
   /// Hop log of a packet (only populated when params.record_routes).
   static const std::vector<HopRecord>* HopsOf(const Packet& pkt);
@@ -94,7 +55,7 @@ class Fabric {
   /// cycles, a link-utilization histogram (percent, switch-to-switch
   /// links), the hottest-link gauge, and input-buffer wait high-water.
   /// No-op without a registry. Call once when the trial's run ends.
-  void CollectMetrics(Cycles now);
+  void CollectMetrics(Cycles now) override;
 
  private:
   struct Buffered {
@@ -107,6 +68,12 @@ class Fabric {
     PacketPtr pkt;
     Cycles ready = 0;
     BufferedPtr src_buffer;  ///< slot to release when this branch drains
+    /// Arbitration tie-break: the input port the packet occupies at this
+    /// switch (-1 for injections, which never contend). Same-cycle
+    /// contenders for one output channel are granted lowest-port-first —
+    /// an engine-independent rule the flit engine applies identically,
+    /// so cross-engine runs stay cycle-equivalent (docs/engines.md).
+    int arb_port = -1;
   };
 
   struct Channel {
@@ -140,27 +107,11 @@ class Fabric {
 
   // --- event handlers ---
   void Pump(int channel_id);
+  void Pick(int channel_id);
   void StartTx(int channel_id, Tx tx);
   void HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt, Cycles head_time);
   void Route(SwitchId s, PacketPtr pkt, Cycles decision_time,
              const BufferedPtr& buf);
-
-  struct Branch {
-    PacketPtr pkt;
-    int channel_id;
-  };
-  void RouteUnicast(SwitchId s, const PacketPtr& pkt,
-                    std::vector<Branch>& out);
-  void RouteTreeWorm(SwitchId s, const PacketPtr& pkt,
-                     std::vector<Branch>& out);
-  void RoutePathWorm(SwitchId s, const PacketPtr& pkt,
-                     std::vector<Branch>& out);
-
-  /// Least-loaded port among candidates (first on ties); first candidate
-  /// when adaptivity is disabled.
-  PortId PickAdaptive(SwitchId s, const std::vector<PortId>& candidates) const;
-
-  Branch MakeHostBranch(SwitchId s, NodeId n, const PacketPtr& pkt) const;
 
   void Trace(TraceKind kind, const Packet& pkt, std::int32_t actor,
              std::int32_t detail) {

@@ -1,493 +1,475 @@
 #include "network/flit_engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <memory>
+#include <cstdio>
+#include <string>
 
 #include "common/expect.hpp"
-#include "metrics/metrics.hpp"
-#include "trace/tracer.hpp"
+#include "network/route_logic.hpp"
 
 namespace irmc {
 
-// ---------------------------------------------------------------------------
-// Internal structures. The engine is cycle-stepped: each cycle first lands
-// the flits launched in the previous cycle (phase A), then makes routing
-// decisions and launches new flits (phase B).
-// ---------------------------------------------------------------------------
-
-struct FlitEngine::Worm {
-  PacketPtr pkt;
-  int len = 0;
-  int received = 0;   ///< flits landed in this buffer
-  int freed = 0;      ///< flits consumed by every branch
-  Cycles head_arrive = 0;
-  bool fully_injected = false;  ///< source-side worm: all flits available
-  bool routed = false;
-  int live_branches = 0;
-  // location
-  int port_index = -1;  ///< owning input port; -1 for injection sources
-};
-
-struct FlitEngine::Channel {
-  int dst_port_index = -1;      ///< downstream input port; -1 = host sink
-  NodeId sink_host = kInvalidNode;
-  struct BranchRef {
-    int branch = -1;
-  };
-  int active_branch = -1;
-  std::deque<int> waiting;
-};
-
-struct FlitEngine::InputPort {
-  int capacity = 0;
-  int resident_worm = -1;  ///< at most one worm resident (single VC)
-};
-
-namespace {
-
-struct BranchState {
-  int src_worm = -1;
-  int channel = -1;
-  PacketPtr out_pkt;  ///< header as seen by the downstream switch
-  int len = 0;
-  int consumed = 0;
-  Cycles start_ok = 0;
-  int dst_worm = -1;  ///< created when the head lands downstream
-  bool done = false;
-  // Open credit-stall streak (tracer attached only). stall_len counts
-  // exactly the cycles added to flit.blocked_cycles, so the emitted
-  // block interval [stall_begin, stall_begin + stall_len) keeps the
-  // trace-derived total equal to the counter even when the streak is
-  // interleaved with flit-availability waits (which are not stalls).
-  Cycles stall_begin = 0;
-  Cycles stall_len = 0;
-};
-
-struct InFlight {
-  int branch = -1;
-  bool is_head = false;
-  bool is_tail = false;
-};
-
-}  // namespace
-
-struct FlitEngine::Impl {
-  const System& sys;
-  FlitEngineParams params;
-  int ports;
-  MetricsRegistry* metrics = nullptr;
-  Tracer* tracer = nullptr;
-  std::int64_t m_flits_moved = 0;
-  std::int64_t m_blocked_cycles = 0;   ///< credit stalls (true wormhole blocking)
-  std::int64_t m_max_occupancy = 0;    ///< input-buffer flits high-water
-
-  std::vector<InputPort> inputs;  // [switch*ports + port]
-  std::vector<Channel> channels;  // switch out channels, then injections
-  std::vector<Worm> worms;
-  std::vector<BranchState> branches;
-  std::vector<std::pair<InFlight, Cycles>> in_flight;  // lands at .second
-  std::vector<FlitDelivery> deliveries;
-  struct PendingDelivery {
-    NodeId node;
-    Cycles head = kNever;
-    int flits_seen = 0;
-    int len = 0;
-    int branch = -1;
-  };
-  std::vector<PendingDelivery> pending_deliveries;
-  std::vector<std::deque<std::pair<PacketPtr, Cycles>>> inject_queues;
-  int outstanding = 0;  ///< worms not yet fully sunk
-
-  explicit Impl(const System& s, const FlitEngineParams& p)
-      : sys(s), params(p), ports(s.graph.ports_per_switch()) {
-    const auto n_ports = static_cast<std::size_t>(s.num_switches()) *
-                         static_cast<std::size_t>(ports);
-    inputs.assign(n_ports, InputPort{p.buffer_flits, -1});
-    channels.resize(n_ports + static_cast<std::size_t>(s.num_nodes()));
-    for (SwitchId sw = 0; sw < s.num_switches(); ++sw) {
-      for (PortId pt = 0; pt < ports; ++pt) {
-        Channel& c = channels[PortIdx(sw, pt)];
-        const Port& port = s.graph.port(sw, pt);
-        if (port.kind == PortKind::kSwitch)
-          c.dst_port_index =
-              static_cast<int>(PortIdx(port.peer_switch, port.peer_port));
-        else if (port.kind == PortKind::kHost)
-          c.sink_host = port.host;
-      }
-    }
-    for (NodeId n = 0; n < s.num_nodes(); ++n) {
-      Channel& c = channels[n_ports + static_cast<std::size_t>(n)];
-      const HostAttachment& at = s.graph.host(n);
-      c.dst_port_index = static_cast<int>(PortIdx(at.sw, at.port));
-    }
-    inject_queues.resize(static_cast<std::size_t>(s.num_nodes()));
+FlitEngine::FlitEngine(Engine& engine, const System& sys,
+                       const NetParams& params, DeliverFn deliver,
+                       Tracer* tracer, MetricsRegistry* metrics)
+    : engine_(engine),
+      sys_(sys),
+      params_(params),
+      deliver_(std::move(deliver)),
+      tracer_(tracer),
+      metrics_(metrics),
+      ports_(sys.graph.ports_per_switch()) {
+  IRMC_EXPECT(deliver_ != nullptr);
+  IRMC_EXPECT(params_.buffer_flits >= 1);
+  IRMC_EXPECT(params_.deadlock_horizon >= 1);
+  if (metrics_) {
+    m_flits_ = &metrics_->GetCounter("flit.flits_moved");
+    m_switched_ = &metrics_->GetCounter("flit.packets_switched");
+    m_injected_ = &metrics_->GetCounter("flit.packets_injected");
+    m_replications_ = &metrics_->GetCounter("flit.replications");
+    m_host_deliveries_ = &metrics_->GetCounter("flit.host_deliveries");
+    m_blocked_ = &metrics_->GetCounter("flit.blocked_cycles");
+    m_fanout_ = &metrics_->GetHistogram("flit.route_fanout");
+    m_header_flits_ = &metrics_->GetHistogram("flit.header_flits");
   }
-
-  std::size_t PortIdx(SwitchId sw, PortId pt) const {
-    return static_cast<std::size_t>(sw) * static_cast<std::size_t>(ports) +
-           static_cast<std::size_t>(pt);
-  }
-  std::size_t InjChannel(NodeId n) const {
-    return static_cast<std::size_t>(sys.num_switches()) *
-               static_cast<std::size_t>(ports) +
-           static_cast<std::size_t>(n);
-  }
-  SwitchId SwitchOfPort(int port_index) const {
-    return static_cast<SwitchId>(port_index / ports);
-  }
-
-  /// Flush a branch's open stall streak as a kBlockBegin/kBlockEnd pair
-  /// charged to its channel (switch output port, or injection channel
-  /// with detail -1 — the BlockSource convention of trace/analysis).
-  void EmitBlockStreak(BranchState& b) {
-    if (b.stall_len == 0) return;
-    const int n_out = sys.num_switches() * ports;
-    TraceEvent e;
-    e.mcast_id = b.out_pkt->mcast_id;
-    e.pkt_index = b.out_pkt->pkt_index;
-    if (b.channel < n_out) {
-      e.actor = b.channel / ports;
-      e.detail = b.channel % ports;
-    } else {
-      e.actor = b.channel - n_out;
-      e.detail = -1;
-    }
-    e.kind = TraceKind::kBlockBegin;
-    e.time = b.stall_begin;
-    tracer->Record(e);
-    e.kind = TraceKind::kBlockEnd;
-    e.time = b.stall_begin + b.stall_len;
-    tracer->Record(e);
-    b.stall_len = 0;
-  }
-
-  // ---- routing decisions (deterministic: first candidate) ----
-  struct Decision {
-    PacketPtr out_pkt;
-    int channel = -1;
-  };
-
-  void Decide(SwitchId sw, const PacketPtr& pkt, std::vector<Decision>& out) {
-    switch (pkt->kind) {
-      case HeaderKind::kUnicast: {
-        const SwitchId dest_sw = sys.graph.SwitchOf(pkt->uni_dest);
-        if (dest_sw == sw) {
-          out.push_back(HostDecision(sw, pkt->uni_dest, pkt));
-          return;
-        }
-        const auto& cand = sys.routing.Candidates(sw, dest_sw, pkt->phase);
-        IRMC_ENSURE(!cand.empty());
-        auto copy = pkt->CloneForBranch();
-        copy->phase = sys.routing.NextPhase(sw, cand.front(), pkt->phase);
-        out.push_back(
-            Decision{std::move(copy),
-                     static_cast<int>(PortIdx(sw, cand.front()))});
-        return;
-      }
-      case HeaderKind::kTreeWorm: {
-        NodeSet locals = pkt->tree_dests & sys.reach.Local(sw);
-        for (NodeId n : locals.ToVector())
-          out.push_back(HostDecision(sw, n, pkt));
-        NodeSet rem = pkt->tree_dests;
-        rem.Subtract(locals);
-        if (rem.Empty()) return;
-        if (rem.IsSubsetOf(sys.reach.DownCover(sw))) {
-          for (PortId p : sys.updown.DownPorts(sw)) {
-            NodeSet part = rem & sys.reach.Primary(sw, p);
-            if (part.Empty()) continue;
-            auto copy = pkt->CloneForBranch();
-            copy->tree_dests = part;
-            copy->phase = RoutePhase::kDownOnly;
-            out.push_back(
-                Decision{std::move(copy), static_cast<int>(PortIdx(sw, p))});
-          }
-          return;
-        }
-        IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
-        const auto& ups = sys.updown.UpPorts(sw);
-        PortId chosen = ups.front();
-        for (PortId p : ups) {
-          const SwitchId t = sys.graph.port(sw, p).peer_switch;
-          if (rem.IsSubsetOf(sys.reach.DownCover(t) | sys.reach.Local(t))) {
-            chosen = p;
-            break;
-          }
-        }
-        auto copy = pkt->CloneForBranch();
-        copy->tree_dests = rem;
-        out.push_back(
-            Decision{std::move(copy), static_cast<int>(PortIdx(sw, chosen))});
-        return;
-      }
-      case HeaderKind::kPathWorm: {
-        const auto& step = pkt->path->steps[pkt->path_cursor];
-        IRMC_ENSURE(step.sw == sw);
-        for (NodeId n : step.deliver) out.push_back(HostDecision(sw, n, pkt));
-        if (step.forward_port == kInvalidPort) return;
-        auto copy = pkt->CloneForBranch();
-        copy->path_cursor = pkt->path_cursor + 1;
-        copy->header_flits = step.header_flits_after;
-        out.push_back(Decision{
-            std::move(copy), static_cast<int>(PortIdx(sw, step.forward_port))});
-        return;
+  const auto n_ports = static_cast<std::size_t>(sys.num_switches()) *
+                       static_cast<std::size_t>(ports_);
+  inputs_.assign(n_ports, InputPort{params_.buffer_flits, -1});
+  channels_.resize(n_ports + static_cast<std::size_t>(sys.num_nodes()));
+  for (SwitchId sw = 0; sw < sys.num_switches(); ++sw) {
+    for (PortId pt = 0; pt < ports_; ++pt) {
+      Channel& c = channels_[PortIdx(sw, pt)];
+      const Port& port = sys.graph.port(sw, pt);
+      if (port.kind == PortKind::kSwitch) {
+        c.dst_port_index =
+            static_cast<int>(PortIdx(port.peer_switch, port.peer_port));
+      } else if (port.kind == PortKind::kHost) {
+        c.sink_host = port.host;
+        c.to_host = true;
       }
     }
   }
-
-  Decision HostDecision(SwitchId sw, NodeId n, const PacketPtr& pkt) {
+  for (NodeId n = 0; n < sys.num_nodes(); ++n) {
+    Channel& c = channels_[InjChannel(n)];
     const HostAttachment& at = sys.graph.host(n);
-    IRMC_EXPECT(at.sw == sw);
-    return Decision{pkt->CloneForBranch(),
-                    static_cast<int>(PortIdx(sw, at.port))};
+    c.dst_port_index = static_cast<int>(PortIdx(at.sw, at.port));
   }
+  inject_queues_.resize(static_cast<std::size_t>(sys.num_nodes()));
+}
 
-  // ---- cycle phases ----
-
-  std::vector<int> pending_port_release;
-
-  /// Phase A0: apply input-port releases earned at the end of the
-  /// previous cycle.
-  void ReleasePorts() {
-    for (int port : pending_port_release)
-      inputs[static_cast<std::size_t>(port)].resident_worm = -1;
-    pending_port_release.clear();
+void FlitEngine::InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready) {
+  IRMC_EXPECT(pkt != nullptr);
+  IRMC_EXPECT(pkt->WireFlits() > 0);
+  if (params_.record_routes && !pkt->hop_log)
+    pkt->hop_log = std::make_shared<std::vector<HopRecord>>();
+  TraceAt(engine_.Now(), TraceKind::kInject, *pkt, n, -1);
+  if (m_injected_) {
+    m_injected_->Add();
+    m_header_flits_->Add(pkt->header_flits);
   }
+  inject_queues_[static_cast<std::size_t>(n)].emplace_back(std::move(pkt),
+                                                           ready);
+  ScheduleTick(ready);
+}
 
-  /// Phase A: land flits launched last cycle.
-  void LandFlits(Cycles now) {
-    std::size_t kept = 0;
-    for (auto& entry : in_flight) {
-      if (entry.second > now) {
-        in_flight[kept++] = entry;
-        continue;
+int FlitEngine::InjectionBacklog(NodeId n) const {
+  return static_cast<int>(inject_queues_[static_cast<std::size_t>(n)].size()) +
+         channels_[InjChannel(n)].Load();
+}
+
+std::int64_t FlitEngine::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const Channel& c : channels_) total += c.Load();
+  for (const auto& q : inject_queues_)
+    total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
+std::vector<LinkLoadReport> FlitEngine::LinkReports(Cycles now) const {
+  std::vector<LinkLoadReport> out;
+  const double elapsed = now > 0 ? static_cast<double>(now) : 1.0;
+  for (SwitchId s = 0; s < sys_.num_switches(); ++s) {
+    for (PortId p = 0; p < ports_; ++p) {
+      const Port& pt = sys_.graph.port(s, p);
+      if (pt.kind == PortKind::kFree) continue;
+      const Channel& c = channels_[PortIdx(s, p)];
+      LinkLoadReport r;
+      r.sw = s;
+      r.port = p;
+      r.to_host = c.to_host;
+      r.node = c.sink_host;
+      r.flits = c.flits;
+      // One flit per cycle per channel, so busy cycles == flits moved
+      // (the Fabric's TimelineResource holds a channel for exactly one
+      // cycle per wire flit too — the two engines report identically).
+      r.utilization = static_cast<double>(c.flits) / elapsed;
+      out.push_back(r);
+    }
+  }
+  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+    const Channel& c = channels_[InjChannel(n)];
+    LinkLoadReport r;
+    r.node = n;
+    r.flits = c.flits;
+    r.utilization = static_cast<double>(c.flits) / elapsed;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void FlitEngine::CollectMetrics(Cycles now) {
+  if (!metrics_) return;
+  metrics_->GetCounter("flit.cycles_run").Add(ticks_);
+  metrics_->GetCounter("flit.deliveries").Add(deliveries_);
+  metrics_->GetGauge("flit.max_buffer_occupancy", GaugeMode::kMax)
+      .Set(static_cast<double>(max_occupancy_));
+  Counter& busy = metrics_->GetCounter("flit.link_busy_cycles");
+  Histogram& util = metrics_->GetHistogram("flit.link_utilization_pct");
+  Gauge& hottest =
+      metrics_->GetGauge("flit.max_link_utilization", GaugeMode::kMax);
+  double best = 0.0;
+  for (const Channel& c : channels_) busy.Add(c.flits);
+  for (const LinkLoadReport& r : LinkReports(now)) {
+    if (r.sw == kInvalidSwitch || r.to_host) continue;  // switch-switch only
+    util.Add(static_cast<std::int64_t>(100.0 * r.utilization));
+    best = std::max(best, r.utilization);
+  }
+  hottest.Set(best);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven stepping. Each active cycle is one kernel event; the
+// engine reschedules itself while any worm, flit, or ready injection
+// remains, and goes quiet otherwise (a later injection re-arms it).
+// ---------------------------------------------------------------------------
+
+void FlitEngine::ScheduleTick(Cycles when) {
+  const Cycles t =
+      std::max(std::max(engine_.Now(), when), last_processed_ + 1);
+  engine_.ScheduleAt(t, [this]() { Tick(); });
+}
+
+void FlitEngine::Tick() {
+  const Cycles now = engine_.Now();
+  if (now <= last_processed_) return;  // duplicate wake-up for a done cycle
+  last_processed_ = now;
+  ++ticks_;
+  ReleasePorts();
+  LandFlits(now);
+  PumpInjections(now);
+  RouteWorms(now);
+  MoveFlits(now);
+  if (Busy(now)) ScheduleTick(now + 1);
+}
+
+bool FlitEngine::Busy(Cycles now) const {
+  if (!in_flight_.empty() || !pending_port_release_.empty() ||
+      !route_queue_.empty())
+    return true;
+  for (const Channel& c : channels_)
+    if (c.active_branch != -1 || !c.waiting.empty()) return true;
+  // Future-ready injections do not keep the engine ticking: their
+  // InjectFromNi scheduled a wake-up at `ready` already.
+  for (const auto& q : inject_queues_)
+    if (!q.empty() && q.front().second <= now) return true;
+  return false;
+}
+
+// --- cycle phases ---
+
+void FlitEngine::ReleasePorts() {
+  for (int port : pending_port_release_)
+    inputs_[static_cast<std::size_t>(port)].resident_worm = -1;
+  pending_port_release_.clear();
+}
+
+void FlitEngine::DeliverBranch(BranchState& b, Cycles tail_arrive) {
+  ++deliveries_;
+  if (m_host_deliveries_) m_host_deliveries_->Add();
+  TraceAt(tail_arrive, TraceKind::kNiDeliver, *b.out_pkt, b.sink, -1);
+  deliver_(b.sink, b.out_pkt, b.sink_head, tail_arrive);
+}
+
+void FlitEngine::LandFlits(Cycles now) {
+  std::size_t kept = 0;
+  for (InFlight& entry : in_flight_) {
+    if (entry.lands > now) {
+      in_flight_[kept++] = entry;
+      continue;
+    }
+    BranchState& b = branches_[static_cast<std::size_t>(entry.branch)];
+    Channel& c = channels_[static_cast<std::size_t>(b.channel)];
+    if (c.sink_host != kInvalidNode || b.sink != kInvalidNode) {
+      // Host ejection sink (switch host port or direct NI channel).
+      if (entry.is_head) b.sink_head = entry.lands;
+      ++b.sink_landed;
+      if (b.sink_landed == b.len) DeliverBranch(b, entry.lands);
+    } else {
+      if (entry.is_head) {
+        // Create the downstream resident worm.
+        InputPort& ip = inputs_[static_cast<std::size_t>(c.dst_port_index)];
+        IRMC_ENSURE(ip.resident_worm == -1);
+        Worm w;
+        w.pkt = b.out_pkt;
+        w.len = b.len;
+        w.head_arrive = entry.lands;
+        w.port_index = c.dst_port_index;
+        worms_.push_back(std::move(w));
+        ip.resident_worm = static_cast<int>(worms_.size()) - 1;
+        b.dst_worm = ip.resident_worm;
+        if (m_switched_) m_switched_->Add();
+        TraceAt(entry.lands, TraceKind::kHeadArrive, *b.out_pkt,
+                SwitchOfPort(c.dst_port_index),
+                c.dst_port_index % ports_);
+        route_queue_.emplace_back(b.dst_worm,
+                                  entry.lands + params_.route_delay);
       }
-      BranchState& b = branches[static_cast<std::size_t>(entry.first.branch)];
-      Channel& c = channels[static_cast<std::size_t>(b.channel)];
-      if (c.sink_host != kInvalidNode) {
-        // Host ejection sink.
-        for (auto& pd : pending_deliveries) {
-          if (pd.branch != entry.first.branch) continue;
-          if (entry.first.is_head) pd.head = entry.second;
-          ++pd.flits_seen;
-          if (pd.flits_seen == pd.len) {
-            deliveries.push_back(FlitDelivery{pd.node, pd.head, entry.second});
-            --outstanding;
-          }
-          break;
+      Worm& w = worms_[static_cast<std::size_t>(b.dst_worm)];
+      ++w.received;
+      max_occupancy_ = std::max(
+          max_occupancy_, static_cast<std::int64_t>(w.received - w.freed));
+    }
+  }
+  in_flight_.resize(kept);
+}
+
+void FlitEngine::PumpInjections(Cycles now) {
+  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+    auto& q = inject_queues_[static_cast<std::size_t>(n)];
+    if (q.empty()) continue;
+    Channel& c = channels_[InjChannel(n)];
+    if (c.active_branch != -1 || !c.waiting.empty()) continue;
+    if (q.front().second > now) continue;
+    // Source-side pseudo-worm: all flits available at `ready`.
+    Worm w;
+    w.pkt = q.front().first;
+    w.len = q.front().first->WireFlits();
+    w.received = w.len;
+    w.routed = true;
+    w.live_branches = 1;
+    worms_.push_back(std::move(w));
+    const int worm_id = static_cast<int>(worms_.size()) - 1;
+
+    BranchState b;
+    b.src_worm = worm_id;
+    b.channel = static_cast<int>(InjChannel(n));
+    b.out_pkt = q.front().first;
+    b.len = worms_[static_cast<std::size_t>(worm_id)].len;
+    b.start_ok = q.front().second;
+    branches_.push_back(std::move(b));
+    const int bid = static_cast<int>(branches_.size()) - 1;
+    worms_[static_cast<std::size_t>(worm_id)].branch_ids.push_back(bid);
+    c.waiting.push_back(bid);
+    q.pop_front();
+  }
+}
+
+void FlitEngine::RouteWorms(Cycles now) {
+  // Heads land in FIFO order and route_delay is uniform, so the queue is
+  // monotone in decision time: pop from the front only.
+  while (!route_queue_.empty() && route_queue_.front().second <= now) {
+    const int wi = route_queue_.front().first;
+    route_queue_.pop_front();
+    Worm& w = worms_[static_cast<std::size_t>(wi)];
+    IRMC_ENSURE(!w.routed && w.received >= 1);
+    w.routed = true;
+    const SwitchId sw = SwitchOfPort(w.port_index);
+    std::vector<RouteBranch> decisions;
+    ComputeRouteBranches(
+        sys_, sw, w.pkt, params_.adaptive,
+        [this](SwitchId s, PortId p) { return channels_[PortIdx(s, p)].Load(); },
+        decisions);
+    IRMC_ENSURE(!decisions.empty());
+    if (m_fanout_) {
+      m_fanout_->Add(static_cast<std::int64_t>(decisions.size()));
+      m_replications_->Add(static_cast<std::int64_t>(decisions.size()) - 1);
+    }
+    TraceAt(now, TraceKind::kRoute, *w.pkt, sw,
+            static_cast<std::int32_t>(decisions.size()));
+    w.live_branches = static_cast<int>(decisions.size());
+    for (RouteBranch& d : decisions) {
+      TraceAt(now, TraceKind::kBranch, *d.pkt, sw,
+              static_cast<std::int32_t>(d.port));
+      BranchState b;
+      b.src_worm = wi;
+      b.channel = static_cast<int>(PortIdx(sw, d.port));
+      b.out_pkt = std::move(d.pkt);
+      b.len = w.len;
+      b.start_ok = w.head_arrive + params_.route_delay + params_.xbar_delay;
+      Channel& c = channels_[static_cast<std::size_t>(b.channel)];
+      if (c.sink_host != kInvalidNode) b.sink = c.sink_host;
+      branches_.push_back(std::move(b));
+      const int bid = static_cast<int>(branches_.size()) - 1;
+      worms_[static_cast<std::size_t>(wi)].branch_ids.push_back(bid);
+      c.waiting.push_back(bid);
+    }
+  }
+}
+
+void FlitEngine::MoveFlits(Cycles now) {
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& c = channels_[ci];
+    if (c.active_branch == -1 && !c.waiting.empty()) {
+      // Grant the branch that has been ready longest; break same-cycle
+      // ties by input port — the same engine-independent rule as the VCT
+      // engine's channel pick, so arbitration (and thus every latency)
+      // agrees across engines (docs/engines.md).
+      std::size_t best = c.waiting.size();
+      for (std::size_t i = 0; i < c.waiting.size(); ++i) {
+        const BranchState& cand =
+            branches_[static_cast<std::size_t>(c.waiting[i])];
+        if (cand.start_ok > now) continue;
+        if (best == c.waiting.size()) {
+          best = i;
+          continue;
+        }
+        const BranchState& cur =
+            branches_[static_cast<std::size_t>(c.waiting[best])];
+        if (cand.start_ok < cur.start_ok ||
+            (cand.start_ok == cur.start_ok && ArbPort(cand) < ArbPort(cur)))
+          best = i;
+      }
+      if (best != c.waiting.size()) {
+        c.active_branch = c.waiting[best];
+        c.waiting.erase(c.waiting.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+      }
+    }
+    if (c.active_branch == -1) continue;
+    BranchState& b = branches_[static_cast<std::size_t>(c.active_branch)];
+    Worm& src = worms_[static_cast<std::size_t>(b.src_worm)];
+    // Flit availability at the source buffer (not a credit stall).
+    if (b.consumed >= src.received) continue;
+    // Downstream space (credit).
+    if (c.dst_port_index >= 0 && b.sink == kInvalidNode) {
+      InputPort& ip = inputs_[static_cast<std::size_t>(c.dst_port_index)];
+      bool stalled = false;
+      if (b.dst_worm == -1) {
+        if (ip.resident_worm != -1) {
+          stalled = true;
+          b.stall_why = "output port held by another worm";
         }
       } else {
-        if (entry.first.is_head) {
-          // Create the downstream resident worm.
-          InputPort& ip = inputs[static_cast<std::size_t>(c.dst_port_index)];
-          IRMC_ENSURE(ip.resident_worm == -1);
-          Worm w;
-          w.pkt = b.out_pkt;
-          w.len = b.len;
-          w.received = 0;
-          w.head_arrive = entry.second;
-          w.port_index = c.dst_port_index;
-          worms.push_back(w);
-          ip.resident_worm = static_cast<int>(worms.size()) - 1;
-          b.dst_worm = ip.resident_worm;
+        const Worm& dw = worms_[static_cast<std::size_t>(b.dst_worm)];
+        if (dw.received - dw.freed >= ip.capacity) {
+          stalled = true;
+          b.stall_why = "downstream input buffer full";
         }
-        Worm& w = worms[static_cast<std::size_t>(b.dst_worm)];
-        ++w.received;
-        m_max_occupancy = std::max(
-            m_max_occupancy, static_cast<std::int64_t>(w.received - w.freed));
+      }
+      if (stalled) {
+        ++blocked_cycles_;
+        if (m_blocked_) m_blocked_->Add();
+        if (b.stall_len == 0) b.stall_begin = now;
+        ++b.stall_len;
+        if (b.stall_len > params_.deadlock_horizon)
+          DeadlockTrip(now, c.active_branch);
+        continue;
       }
     }
-    in_flight.resize(kept);
-  }
-
-  /// Phase B1: start injections whose channel is idle.
-  void PumpInjections(Cycles now) {
-    for (NodeId n = 0; n < sys.num_nodes(); ++n) {
-      auto& q = inject_queues[static_cast<std::size_t>(n)];
-      if (q.empty()) continue;
-      Channel& c = channels[InjChannel(n)];
-      if (c.active_branch != -1 || !c.waiting.empty()) continue;
-      if (q.front().second > now) continue;
-      // Source-side pseudo-worm: all flits available at `ready`.
-      Worm w;
-      w.pkt = q.front().first;
-      w.len = q.front().first->WireFlits();
-      w.received = w.len;
-      w.fully_injected = true;
-      w.routed = true;
-      w.live_branches = 1;
-      worms.push_back(w);
-      const int worm_id = static_cast<int>(worms.size()) - 1;
-
-      BranchState b;
-      b.src_worm = worm_id;
-      b.channel = static_cast<int>(InjChannel(n));
-      b.out_pkt = q.front().first;
-      b.len = w.len;
-      b.start_ok = q.front().second;
-      branches.push_back(b);
-      c.waiting.push_back(static_cast<int>(branches.size()) - 1);
-      q.pop_front();
+    CloseStreak(b);
+    const bool is_head = (b.consumed == 0);
+    ++b.consumed;
+    ++flits_moved_;
+    ++c.flits;
+    if (m_flits_) m_flits_->Add();
+    const bool is_tail = (b.consumed == b.len);
+    in_flight_.push_back(InFlight{c.active_branch, is_head, is_tail,
+                                  now + params_.link_delay});
+    if (is_tail) {
+      b.done = true;
+      c.active_branch = -1;
+      if (--src.live_branches == 0 && src.port_index >= 0) {
+        // All branches drained: free the input port at the *start of the
+        // next cycle* (the tail flit leaves the buffer this cycle),
+        // matching the VCT engine's slot-release timing.
+        pending_port_release_.push_back(src.port_index);
+      }
     }
-  }
-
-  /// Phase B2: make routing decisions for worms whose head has arrived.
-  void RouteWorms(Cycles now) {
-    for (std::size_t wi = 0; wi < worms.size(); ++wi) {
-      Worm& w = worms[wi];
-      if (w.routed || w.port_index < 0 || w.received < 1) continue;
-      if (now < w.head_arrive + params.route_delay) continue;
-      w.routed = true;
-      std::vector<Decision> decisions;
-      Decide(SwitchOfPort(w.port_index), w.pkt, decisions);
-      IRMC_ENSURE(!decisions.empty());
-      w.live_branches = static_cast<int>(decisions.size());
-      for (Decision& d : decisions) {
-        BranchState b;
-        b.src_worm = static_cast<int>(wi);
-        b.channel = d.channel;
-        b.out_pkt = std::move(d.out_pkt);
-        b.len = w.len;
-        b.start_ok = w.head_arrive + params.route_delay + params.xbar_delay;
-        branches.push_back(b);
-        const int bid = static_cast<int>(branches.size()) - 1;
-        Channel& c = channels[static_cast<std::size_t>(d.channel)];
-        c.waiting.push_back(bid);
-        if (c.sink_host != kInvalidNode) {
-          PendingDelivery pd;
-          pd.node = c.sink_host;
-          pd.len = b.len;
-          pd.branch = bid;
-          pending_deliveries.push_back(pd);
-          ++outstanding;
-        }
-      }
-      // The landing of the worm itself is no longer outstanding; its
-      // branches (created above) carry the obligation. Injection worms
-      // are accounted at Inject().
+    // Freed-flit accounting (buffer occupancy): freed = min consumed
+    // over the worm's branches.
+    int min_consumed = b.len;
+    for (int obid : src.branch_ids) {
+      const BranchState& other = branches_[static_cast<std::size_t>(obid)];
+      if (!other.done) min_consumed = std::min(min_consumed, other.consumed);
     }
+    src.freed = std::max(src.freed, std::min(min_consumed, src.received));
   }
-
-  /// Phase B3: channel arbitration + move one flit per active channel.
-  void MoveFlits(Cycles now) {
-    for (std::size_t ci = 0; ci < channels.size(); ++ci) {
-      Channel& c = channels[ci];
-      if (c.active_branch == -1 && !c.waiting.empty()) {
-        // FIFO grant; head-of-line semantics match the VCT engine.
-        const int bid = c.waiting.front();
-        if (branches[static_cast<std::size_t>(bid)].start_ok <= now) {
-          c.waiting.pop_front();
-          c.active_branch = bid;
-        }
-      }
-      if (c.active_branch == -1) continue;
-      BranchState& b = branches[static_cast<std::size_t>(c.active_branch)];
-      Worm& src = worms[static_cast<std::size_t>(b.src_worm)];
-      // Flit availability at the source buffer.
-      if (b.consumed >= src.received) continue;
-      // Downstream space (credit).
-      if (c.dst_port_index >= 0) {
-        InputPort& ip = inputs[static_cast<std::size_t>(c.dst_port_index)];
-        if (b.dst_worm == -1) {
-          if (ip.resident_worm != -1) {
-            ++m_blocked_cycles;  // port occupied
-            if (tracer) {
-              if (b.stall_len == 0) b.stall_begin = now;
-              ++b.stall_len;
-            }
-            continue;
-          }
-        } else {
-          const Worm& dw = worms[static_cast<std::size_t>(b.dst_worm)];
-          if (dw.received - dw.freed >= ip.capacity) {
-            ++m_blocked_cycles;  // downstream buffer full
-            if (tracer) {
-              if (b.stall_len == 0) b.stall_begin = now;
-              ++b.stall_len;
-            }
-            continue;
-          }
-          // Plus the flits already in flight toward it this cycle.
-        }
-      }
-      if (tracer) EmitBlockStreak(b);
-      const bool is_head = (b.consumed == 0);
-      ++b.consumed;
-      ++m_flits_moved;
-      const bool is_tail = (b.consumed == b.len);
-      in_flight.push_back(
-          {InFlight{c.active_branch, is_head, is_tail}, now + params.link_delay});
-      if (is_tail) {
-        b.done = true;
-        c.active_branch = -1;
-        if (--src.live_branches == 0 && src.port_index >= 0) {
-          // All branches drained: free the input port at the *start of
-          // the next cycle* (the tail flit leaves the buffer this
-          // cycle), matching the VCT engine's slot-release timing.
-          pending_port_release.push_back(src.port_index);
-        }
-      }
-      // Freed-flit accounting (buffer occupancy): freed = min consumed.
-      int min_consumed = b.len;
-      for (const BranchState& other : branches)
-        if (other.src_worm == b.src_worm && !other.done)
-          min_consumed = std::min(min_consumed, other.consumed);
-      src.freed = std::max(src.freed, std::min(min_consumed, src.received));
-    }
-  }
-};
-
-FlitEngine::FlitEngine(const System& sys, const FlitEngineParams& params,
-                       MetricsRegistry* metrics, Tracer* tracer)
-    : impl_(std::make_shared<Impl>(sys, params)) {
-  impl_->metrics = metrics;
-  impl_->tracer = tracer;
 }
 
-void FlitEngine::Inject(NodeId n, PacketPtr pkt, Cycles ready) {
-  IRMC_EXPECT(pkt != nullptr);
-  impl_->inject_queues[static_cast<std::size_t>(n)].emplace_back(
-      std::move(pkt), ready);
+void FlitEngine::CloseStreak(BranchState& b) {
+  if (b.stall_len == 0) return;
+  if (tracer_) {
+    std::int32_t actor = -1;
+    std::int32_t detail = -1;
+    ChannelActor(b.channel, &actor, &detail);
+    TraceAt(b.stall_begin, TraceKind::kBlockBegin, *b.out_pkt, actor, detail);
+    TraceAt(b.stall_begin + b.stall_len, TraceKind::kBlockEnd, *b.out_pkt,
+            actor, detail);
+  }
+  b.stall_len = 0;
+  b.stall_why = nullptr;
 }
 
-std::vector<FlitDelivery> FlitEngine::Run(Cycles max_cycles) {
-  Impl& im = *impl_;
-  Cycles now = 0;
-  auto busy = [&im]() {
-    if (im.outstanding > 0 || !im.in_flight.empty()) return true;
-    if (!im.pending_port_release.empty()) return true;
-    for (const auto& q : im.inject_queues)
-      if (!q.empty()) return true;
-    for (const auto& w : im.worms)
-      if (w.port_index >= 0 && !w.routed) return true;
-    for (const auto& c : im.channels)
-      if (c.active_branch != -1 || !c.waiting.empty()) return true;
-    return false;
-  };
-  // Prime outstanding with queued injections so the loop starts.
-  bool primed = false;
-  for (const auto& q : im.inject_queues) primed = primed || !q.empty();
-  IRMC_EXPECT(primed);
-  while (now <= max_cycles) {
-    im.ReleasePorts();
-    im.LandFlits(now);
-    im.PumpInjections(now);
-    im.RouteWorms(now);
-    im.MoveFlits(now);
-    ++now;
-    if (!busy()) break;
+void FlitEngine::DeadlockTrip(Cycles now, int trip_branch) {
+  std::string msg;
+  char buf[256];
+  const BranchState& trip = branches_[static_cast<std::size_t>(trip_branch)];
+  std::snprintf(buf, sizeof buf,
+                "worm (mcast %lld pkt %d) blocked for %lld cycles > "
+                "deadlock horizon %lld at cycle %lld; blocked worms:",
+                static_cast<long long>(trip.out_pkt->mcast_id),
+                trip.out_pkt->pkt_index,
+                static_cast<long long>(trip.stall_len),
+                static_cast<long long>(params_.deadlock_horizon),
+                static_cast<long long>(now));
+  msg += buf;
+  const int n_out = sys_.num_switches() * ports_;
+  for (const BranchState& b : branches_) {
+    if (b.done) continue;
+    // A branch can be pending without an open stall streak when it is
+    // starved of flits (upstream not sending yet) — include those too:
+    // they are often the hidden links of the wait chain.
+    const Worm& src = worms_[static_cast<std::size_t>(b.src_worm)];
+    const bool starved = b.stall_len == 0;
+    if (starved && b.consumed < src.received) continue;  // genuinely moving
+    if (b.channel < n_out)
+      std::snprintf(buf, sizeof buf,
+                    "\n  worm (mcast %lld pkt %d) at switch %d port %d",
+                    static_cast<long long>(b.out_pkt->mcast_id),
+                    b.out_pkt->pkt_index, b.channel / ports_,
+                    b.channel % ports_);
+    else
+      std::snprintf(buf, sizeof buf,
+                    "\n  worm (mcast %lld pkt %d) at injection of node %d",
+                    static_cast<long long>(b.out_pkt->mcast_id),
+                    b.out_pkt->pkt_index, b.channel - n_out);
+    msg += buf;
+    if (starved)
+      std::snprintf(buf, sizeof buf,
+                    ": starved of flits (%d of %d consumed, %d received, "
+                    "%d freed)",
+                    b.consumed, b.len, src.received, src.freed);
+    else
+      std::snprintf(buf, sizeof buf, ": %s for %lld cycles",
+                    b.stall_why ? b.stall_why : "stalled",
+                    static_cast<long long>(b.stall_len));
+    msg += buf;
+    const Channel& c = channels_[static_cast<std::size_t>(b.channel)];
+    if (c.dst_port_index >= 0) {
+      const int rw =
+          inputs_[static_cast<std::size_t>(c.dst_port_index)].resident_worm;
+      if (rw >= 0) {
+        const Worm& w = worms_[static_cast<std::size_t>(rw)];
+        std::snprintf(buf, sizeof buf,
+                      " (port held by worm mcast %lld pkt %d)",
+                      static_cast<long long>(w.pkt->mcast_id),
+                      w.pkt->pkt_index);
+        msg += buf;
+      }
+    }
   }
-  IRMC_ENSURE(now <= max_cycles && "flit engine hit the cycle cap");
-  if (im.metrics) {
-    im.metrics->GetCounter("flit.flits_moved").Add(im.m_flits_moved);
-    im.metrics->GetCounter("flit.blocked_cycles").Add(im.m_blocked_cycles);
-    im.metrics->GetCounter("flit.cycles_run").Add(now);
-    im.metrics->GetCounter("flit.deliveries")
-        .Add(static_cast<std::int64_t>(im.deliveries.size()));
-    im.metrics->GetGauge("flit.max_buffer_occupancy", GaugeMode::kMax)
-        .Set(static_cast<double>(im.m_max_occupancy));
-  }
-  return im.deliveries;
+  detail::ContractFailure("invariant", "flit worm blocked past deadlock horizon",
+                          __FILE__, __LINE__, "%s", msg.c_str());
 }
 
 }  // namespace irmc

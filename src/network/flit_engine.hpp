@@ -1,68 +1,223 @@
-// Flit-level wormhole/cut-through engine (validation substrate).
+// Flit-level wormhole/cut-through engine.
 //
-// A genuinely flit-by-flit, cycle-stepped simulation of the same switch
-// fabric: per-input-port flit buffers with credit backpressure, one flit
-// per cycle per channel, asynchronous replication (each branch of a
+// A genuinely flit-by-flit simulation of the same switch fabric: per
+// input-port flit buffers with credit backpressure, one flit per cycle
+// per channel, asynchronous replication (each branch of a
 // multidestination worm drains the input buffer at its own rate; a flit
 // is freed once every branch has consumed it). With buffers of at least
-// one packet this must agree exactly with the packet-granular VCT engine
-// on uncontended traffic — tests and bench/ablB assert that — and with
-// smaller buffers it exhibits true wormhole blocking, which the VCT
-// engine cannot express.
+// one packet this agrees exactly with the packet-granular VCT engine on
+// uncontended traffic — tests/test_engine_xcheck asserts that for all
+// four schemes — and with smaller buffers it exhibits true wormhole
+// blocking, which the VCT engine cannot express.
 //
-// Routing here is deterministic (first candidate port); compare against
-// a Fabric configured with adaptive=false.
+// The engine is cycle-stepped but event-driven: each active cycle is one
+// event on the shared `sim` kernel, so host/NI `TimelineResource` timing
+// from core/executor interleaves correctly, and the engine goes quiet
+// (no events at all) whenever the network is empty. Routing decisions
+// come from the shared route_logic layer, so port selection — including
+// least-loaded adaptive selection — is identical to the Fabric's.
+//
+// Deadlock trip: up*/down* routing is deadlock-free, so a worm that
+// stays credit-blocked on one channel for more than
+// NetParams::deadlock_horizon cycles indicates a broken routing state
+// (or a genuinely cyclic custom plan); the engine aborts with a report
+// naming every stuck worm and the port it blocks on.
 #pragma once
 
-#include <memory>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+#include "network/network_model.hpp"
 #include "network/packet.hpp"
+#include "sim/engine.hpp"
 #include "topology/system.hpp"
+#include "trace/tracer.hpp"
 
 namespace irmc {
 
-class MetricsRegistry;
-class Tracer;
-
-struct FlitDelivery {
-  NodeId node = kInvalidNode;
-  Cycles head_arrive = 0;
-  Cycles tail_arrive = 0;
-};
-
-struct FlitEngineParams {
-  int buffer_flits = 128;  ///< per input port
-  Cycles route_delay = 1;
-  Cycles xbar_delay = 1;   ///< applied once to the head at each switch
-  Cycles link_delay = 1;
-};
-
-class FlitEngine {
+class FlitEngine final : public NetworkModel {
  public:
-  /// `metrics` (optional) receives `flit.*` counters when Run() ends:
-  /// flits moved, credit-stall (blocked) cycles, cycles stepped,
-  /// deliveries, and the input-buffer occupancy high-water gauge.
-  /// `tracer` (optional) receives kBlockBegin/kBlockEnd pairs for every
-  /// credit-stall streak, charged to the stalling channel; the matched
-  /// pair durations sum exactly to `flit.blocked_cycles`.
-  FlitEngine(const System& sys, const FlitEngineParams& params,
-             MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr);
+  /// `metrics` (optional) receives `flit.*` counters/histograms — the
+  /// same catalogue as the Fabric's `fabric.*` family, plus flit-only
+  /// series (cycles stepped, buffer-occupancy high-water); see
+  /// docs/metrics.md. `tracer` (optional) receives the same event kinds
+  /// as the Fabric, including kBlockBegin/kBlockEnd pairs per
+  /// credit-stall streak whose durations sum exactly to
+  /// `flit.blocked_cycles`.
+  FlitEngine(Engine& engine, const System& sys, const NetParams& params,
+             DeliverFn deliver, Tracer* tracer = nullptr,
+             MetricsRegistry* metrics = nullptr);
 
-  /// Queue a packet for injection from node n's NI at `ready`.
-  void Inject(NodeId n, PacketPtr pkt, Cycles ready);
+  void InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready) override;
 
-  /// Run the cycle loop until all injected traffic is delivered (or
-  /// `max_cycles` elapses, which trips a deadlock check). Returns all
-  /// deliveries in completion order.
-  std::vector<FlitDelivery> Run(Cycles max_cycles = 1'000'000);
+  int InjectionBacklog(NodeId n) const override;
+
+  std::int64_t TotalBacklog() const override;
+
+  std::int64_t flits_sent() const override { return flits_moved_; }
+
+  std::vector<LinkLoadReport> LinkReports(Cycles now) const override;
+
+  void CollectMetrics(Cycles now) override;
+
+  /// Cycles actually stepped (idle gaps cost nothing).
+  std::int64_t cycles_stepped() const { return ticks_; }
 
  private:
-  struct Worm;  // a worm copy buffered at (or streaming through) a port
-  struct InputPort;
-  struct Channel;
-  struct Impl;
-  std::shared_ptr<Impl> impl_;
+  /// A worm copy resident in (or streaming through) an input buffer;
+  /// injection sources are pseudo-worms with every flit available.
+  struct Worm {
+    PacketPtr pkt;
+    int len = 0;
+    int received = 0;  ///< flits landed in this buffer
+    int freed = 0;     ///< flits consumed by every branch
+    Cycles head_arrive = 0;
+    bool routed = false;
+    int live_branches = 0;
+    int port_index = -1;  ///< owning input port; -1 for injection sources
+    std::vector<int> branch_ids;
+  };
+
+  /// One output stream of a routed worm: drains the source buffer
+  /// through one channel.
+  struct BranchState {
+    int src_worm = -1;
+    int channel = -1;
+    PacketPtr out_pkt;  ///< header as seen downstream
+    int len = 0;
+    int consumed = 0;
+    Cycles start_ok = 0;
+    int dst_worm = -1;  ///< created when the head lands downstream
+    bool done = false;
+    // Host-sink delivery state (channel ends at an NI).
+    NodeId sink = kInvalidNode;
+    Cycles sink_head = 0;
+    int sink_landed = 0;
+    // Open credit-stall streak. stall_len counts exactly the cycles
+    // added to flit.blocked_cycles, so the emitted block interval
+    // [stall_begin, stall_begin + stall_len) keeps the trace-derived
+    // total equal to the counter even when the streak is interleaved
+    // with flit-availability waits (which are not stalls). The same
+    // streak drives the deadlock trip.
+    Cycles stall_begin = 0;
+    Cycles stall_len = 0;
+    const char* stall_why = nullptr;
+  };
+
+  struct Channel {
+    int dst_port_index = -1;  ///< downstream input port; -1 = host sink
+    NodeId sink_host = kInvalidNode;
+    bool to_host = false;
+    int active_branch = -1;
+    std::deque<int> waiting;
+    std::int64_t flits = 0;  ///< one busy cycle per flit moved
+    int Load() const {
+      return static_cast<int>(waiting.size()) + (active_branch != -1 ? 1 : 0);
+    }
+  };
+
+  struct InputPort {
+    int capacity = 0;
+    int resident_worm = -1;  ///< at most one worm resident (single VC)
+  };
+
+  struct InFlight {
+    int branch = -1;
+    bool is_head = false;
+    bool is_tail = false;
+    Cycles lands = 0;
+  };
+
+  // --- indexing helpers (same layout as the Fabric) ---
+  std::size_t PortIdx(SwitchId s, PortId p) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(p);
+  }
+  std::size_t InjChannel(NodeId n) const {
+    return static_cast<std::size_t>(sys_.num_switches()) *
+               static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(n);
+  }
+  SwitchId SwitchOfPort(int port_index) const {
+    return static_cast<SwitchId>(port_index / ports_);
+  }
+  /// Arbitration tie-break key: the local input port the branch's source
+  /// worm occupies at this switch (-1 for source pseudo-worms, which
+  /// only ever use injection channels and never contend). Matches the
+  /// VCT engine's Tx::arb_port rule.
+  int ArbPort(const BranchState& b) const {
+    const int pi = worms_[static_cast<std::size_t>(b.src_worm)].port_index;
+    return pi >= 0 ? pi % ports_ : -1;
+  }
+  void ChannelActor(int channel_id, std::int32_t* actor,
+                    std::int32_t* detail) const {
+    const int n_out = sys_.num_switches() * ports_;
+    if (channel_id < n_out) {
+      *actor = channel_id / ports_;
+      *detail = channel_id % ports_;
+    } else {
+      *actor = channel_id - n_out;
+      *detail = -1;
+    }
+  }
+
+  // --- event-driven cycle stepping ---
+  void ScheduleTick(Cycles when);
+  void Tick();
+  bool Busy(Cycles now) const;
+
+  // --- cycle phases (run in this order each stepped cycle) ---
+  void ReleasePorts();
+  void LandFlits(Cycles now);
+  void PumpInjections(Cycles now);
+  void RouteWorms(Cycles now);
+  void MoveFlits(Cycles now);
+
+  void DeliverBranch(BranchState& b, Cycles tail_arrive);
+  void CloseStreak(BranchState& b);
+  [[noreturn]] void DeadlockTrip(Cycles now, int trip_branch);
+
+  void TraceAt(Cycles time, TraceKind kind, const Packet& pkt,
+               std::int32_t actor, std::int32_t detail) {
+    if (tracer_)
+      tracer_->Record(
+          TraceEvent{time, kind, pkt.mcast_id, pkt.pkt_index, actor, detail});
+  }
+
+  Engine& engine_;
+  const System& sys_;
+  NetParams params_;
+  DeliverFn deliver_;
+  Tracer* tracer_;
+  MetricsRegistry* metrics_;
+  // Hot-path metric slots, resolved once at construction (null = off).
+  Counter* m_flits_ = nullptr;           ///< flit.flits_moved
+  Counter* m_switched_ = nullptr;        ///< flit.packets_switched
+  Counter* m_injected_ = nullptr;        ///< flit.packets_injected
+  Counter* m_replications_ = nullptr;    ///< flit.replications
+  Counter* m_host_deliveries_ = nullptr; ///< flit.host_deliveries
+  Counter* m_blocked_ = nullptr;         ///< flit.blocked_cycles
+  Histogram* m_fanout_ = nullptr;        ///< flit.route_fanout
+  Histogram* m_header_flits_ = nullptr;  ///< flit.header_flits
+  int ports_;
+
+  std::vector<InputPort> inputs_;  // [switch*ports + port]
+  std::vector<Channel> channels_;  // switch out-channels, then injections
+  std::vector<Worm> worms_;
+  std::vector<BranchState> branches_;
+  std::vector<InFlight> in_flight_;
+  std::deque<std::pair<int, Cycles>> route_queue_;  // (worm, decision time)
+  std::vector<std::deque<std::pair<PacketPtr, Cycles>>> inject_queues_;
+  std::vector<int> pending_port_release_;
+
+  Cycles last_processed_ = -1;  ///< highest cycle already stepped
+  std::int64_t ticks_ = 0;
+  std::int64_t flits_moved_ = 0;
+  std::int64_t blocked_cycles_ = 0;
+  std::int64_t deliveries_ = 0;
+  std::int64_t max_occupancy_ = 0;  ///< input-buffer flits high-water
 };
 
 }  // namespace irmc

@@ -1,0 +1,140 @@
+#include "network/route_logic.hpp"
+
+namespace irmc {
+namespace {
+
+/// Least-loaded port among candidates (first on ties); first candidate
+/// when adaptivity is disabled.
+PortId PickPort(SwitchId s, const std::vector<PortId>& candidates,
+                bool adaptive, const PortLoadFn& load) {
+  IRMC_EXPECT(!candidates.empty());
+  if (!adaptive) return candidates.front();
+  PortId best = candidates.front();
+  int best_load = load(s, best);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const int l = load(s, candidates[i]);
+    if (l < best_load) {
+      best = candidates[i];
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+RouteBranch MakeHostBranch(const System& sys, SwitchId s, NodeId n,
+                           const PacketPtr& pkt) {
+  const HostAttachment& at = sys.graph.host(n);
+  IRMC_EXPECT(at.sw == s);
+  auto copy = pkt->CloneForBranch();
+  if (copy->kind == HeaderKind::kTreeWorm) {
+    NodeSet only(copy->tree_dests.capacity());
+    only.Set(n);
+    copy->tree_dests = only;
+  }
+  return RouteBranch{std::move(copy), at.port};
+}
+
+void RouteUnicast(const System& sys, SwitchId s, const PacketPtr& pkt,
+                  bool adaptive, const PortLoadFn& load,
+                  std::vector<RouteBranch>& out) {
+  const SwitchId dest_sw = sys.graph.SwitchOf(pkt->uni_dest);
+  if (dest_sw == s) {
+    out.push_back(MakeHostBranch(sys, s, pkt->uni_dest, pkt));
+    return;
+  }
+  const auto& cand = sys.routing.Candidates(s, dest_sw, pkt->phase);
+  IRMC_ENSURE(!cand.empty());
+  const PortId p = PickPort(s, cand, adaptive, load);
+  auto copy = pkt->CloneForBranch();
+  copy->phase = sys.routing.NextPhase(s, p, pkt->phase);
+  out.push_back(RouteBranch{std::move(copy), p});
+}
+
+void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
+                   bool adaptive, const PortLoadFn& load,
+                   std::vector<RouteBranch>& out) {
+  const Reachability& reach = sys.reach;
+  NodeSet locals = pkt->tree_dests & reach.Local(s);
+  for (NodeId n : locals.ToVector())
+    out.push_back(MakeHostBranch(sys, s, n, pkt));
+  NodeSet rem = pkt->tree_dests;
+  rem.Subtract(locals);
+  if (rem.Empty()) return;
+
+  if (rem.IsSubsetOf(reach.DownCover(s))) {
+    // Replicate downward along the partitioned reachability strings.
+    NodeSet covered(rem.capacity());
+    for (PortId p : sys.updown.DownPorts(s)) {
+      NodeSet part = rem & reach.Primary(s, p);
+      if (part.Empty()) continue;
+      auto copy = pkt->CloneForBranch();
+      copy->tree_dests = part;
+      copy->phase = RoutePhase::kDownOnly;
+      out.push_back(RouteBranch{std::move(copy), p});
+      covered |= part;
+    }
+    IRMC_ENSURE(covered == rem);
+    return;
+  }
+
+  // Not down-coverable from here: continue climbing toward a least
+  // common ancestor. Legal only while the worm has not gone down.
+  IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
+  const auto& ups = sys.updown.UpPorts(s);
+  IRMC_ENSURE(!ups.empty());
+  std::vector<PortId> sufficient;
+  for (PortId p : ups) {
+    const SwitchId t = sys.graph.port(s, p).peer_switch;
+    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
+      sufficient.push_back(p);
+  }
+  const std::vector<PortId>& cand = sufficient.empty() ? ups : sufficient;
+  const PortId p = PickPort(s, cand, adaptive, load);
+  auto copy = pkt->CloneForBranch();
+  copy->tree_dests = rem;
+  copy->phase = RoutePhase::kUpAllowed;
+  out.push_back(RouteBranch{std::move(copy), p});
+}
+
+void RoutePathWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
+                   std::vector<RouteBranch>& out) {
+  IRMC_EXPECT(pkt->path != nullptr);
+  IRMC_EXPECT(pkt->path_cursor < pkt->path->steps.size());
+  const PathWormRoute::Step& step = pkt->path->steps[pkt->path_cursor];
+  IRMC_ENSURE(step.sw == s);
+  for (NodeId n : step.deliver)
+    out.push_back(MakeHostBranch(sys, s, n, pkt));
+  if (step.forward_port == kInvalidPort) {
+    IRMC_ENSURE(!step.deliver.empty());  // a worm must end with a drop
+    return;
+  }
+  auto copy = pkt->CloneForBranch();
+  copy->path_cursor = pkt->path_cursor + 1;
+  copy->header_flits = step.header_flits_after;
+  copy->phase = sys.routing.NextPhase(s, step.forward_port, pkt->phase);
+  out.push_back(RouteBranch{std::move(copy), step.forward_port});
+}
+
+}  // namespace
+
+void ComputeRouteBranches(const System& sys, SwitchId s, const PacketPtr& pkt,
+                          bool adaptive, const PortLoadFn& load,
+                          std::vector<RouteBranch>& out) {
+  const std::size_t first = out.size();
+  switch (pkt->kind) {
+    case HeaderKind::kUnicast:
+      RouteUnicast(sys, s, pkt, adaptive, load, out);
+      break;
+    case HeaderKind::kTreeWorm:
+      RouteTreeWorm(sys, s, pkt, adaptive, load, out);
+      break;
+    case HeaderKind::kPathWorm:
+      RoutePathWorm(sys, s, pkt, out);
+      break;
+  }
+  for (std::size_t i = first; i < out.size(); ++i)
+    if (out[i].pkt->hop_log)
+      out[i].pkt->hop_log->push_back(HopRecord{s, out[i].port});
+}
+
+}  // namespace irmc

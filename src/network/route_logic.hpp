@@ -1,0 +1,42 @@
+// Routing machinery shared by both network engines.
+//
+// Everything a switch decides when a worm's header reaches it lives
+// here: up*/down* candidate-port selection (deterministic or
+// least-loaded adaptive), multidestination header parsing and stripping
+// (tree-worm bit-strings narrowed per branch, path-worm fields consumed
+// per step), and replication branch fan-out. The VCT Fabric and the
+// flit-level FlitEngine both call ComputeRouteBranches, so a routing
+// decision is — by construction — identical at both granularities; only
+// the transport timing underneath differs. See docs/engines.md.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "topology/system.hpp"
+
+namespace irmc {
+
+/// One replica leaving a switch: the (possibly narrowed) header and the
+/// output port it takes. Host deliveries use the host's attachment port.
+struct RouteBranch {
+  PacketPtr pkt;
+  PortId port = kInvalidPort;
+};
+
+/// Current queue depth of the output channel (s, p); adaptivity picks
+/// the least-loaded candidate (first on ties).
+using PortLoadFn = std::function<int(SwitchId, PortId)>;
+
+/// Computes every branch of `pkt` at switch `s` and appends them to
+/// `out` in deterministic order (host drops first, then network
+/// forwards). Clones narrow headers per branch, update the route phase
+/// via the up*/down* tables, and — when the packet carries a hop log —
+/// record the hop taken. Aborts on any routing contract violation
+/// (phase rule, uncoverable destination set, path-worm step mismatch).
+void ComputeRouteBranches(const System& sys, SwitchId s, const PacketPtr& pkt,
+                          bool adaptive, const PortLoadFn& load,
+                          std::vector<RouteBranch>& out);
+
+}  // namespace irmc

@@ -45,7 +45,7 @@ class DsmRun {
 
   void CollectMetrics(MetricsRegistry& reg) {
     engine_.CollectMetrics(reg);
-    driver_.fabric().CollectMetrics(engine_.Now());
+    driver_.network().CollectMetrics(engine_.Now());
   }
 
   const SampleSet& latencies() const { return latencies_; }

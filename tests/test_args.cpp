@@ -70,6 +70,20 @@ TEST(Args, StrayPositionalFlagged) {
   EXPECT_FALSE(args.UnconsumedKeys().empty());
 }
 
+TEST(Args, GetChoiceAcceptsListedValueAndFallsBackWhenAbsent) {
+  const Args args = ParseVec({"single", "--engine", "flit"});
+  EXPECT_EQ(args.GetChoice("engine", "vct", {"vct", "flit"}), "flit");
+  EXPECT_EQ(args.GetChoice("pattern", "uniform", {"uniform", "hotspot"}),
+            "uniform");
+}
+
+TEST(ArgsDeathTest, GetChoiceRejectsTypoListingAcceptedValues) {
+  const Args args = ParseVec({"single", "--engine", "filt"});
+  EXPECT_EXIT(args.GetChoice("engine", "vct", {"vct", "flit"}),
+              ::testing::ExitedWithCode(2),
+              "invalid value for --engine: 'filt' \\(accepted: vct, flit\\)");
+}
+
 TEST(Args, HasChecksPresence) {
   const Args args = ParseVec({"x", "--a", "1"});
   EXPECT_TRUE(args.Has("a"));

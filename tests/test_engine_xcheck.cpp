@@ -1,0 +1,176 @@
+// Cross-engine agreement and flit-engine determinism (the
+// engine_xcheck_smoke ctest).
+//
+// The VCT and flit-level engines are the same physics at two
+// granularities, so with deterministic routing and buffers of at least
+// one packet a lone multicast must finish at the *same cycle* on both —
+// per destination, for every scheme, over many random topologies. This
+// is the strongest cheap statement that the NetworkModel refactor
+// didn't fork the timing model (see docs/engines.md).
+//
+// The second half holds the flit engine to the same determinism
+// contract as the VCT engine: traced and metered sweeps serialise to
+// byte-identical exports for any IRMC_THREADS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/load_runner.hpp"
+#include "core/parallel.hpp"
+#include "core/single_runner.hpp"
+#include "mcast/scheme.hpp"
+#include "metrics/export.hpp"
+#include "topology/system.hpp"
+#include "trace/export.hpp"
+
+namespace irmc {
+namespace {
+
+/// Restores the environment/default thread resolution on scope exit.
+struct ThreadsGuard {
+  ~ThreadsGuard() { SetParallelThreads(0); }
+};
+
+SimConfig XCheckConfig(EngineKind engine) {
+  SimConfig cfg;
+  cfg.engine = engine;
+  // Deterministic routing: under adaptivity the engines consult
+  // different congestion proxies (queued packets vs. buffered flits),
+  // so port choices — and thus latencies — may legitimately diverge.
+  cfg.net.adaptive = false;
+  // At least one whole packet per input buffer: the worm is always
+  // absorbed, so wormhole stretching (which VCT cannot express) never
+  // occurs and the engines are cycle-equivalent.
+  cfg.net.buffer_flits = 256;
+  return cfg;
+}
+
+class EngineXCheck : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(EngineXCheck, ZeroLoadLatencyAgreesOverManyTopologies) {
+  const SchemeKind kind = GetParam();
+  const SimConfig vct_cfg = XCheckConfig(EngineKind::kVct);
+  const SimConfig flit_cfg = XCheckConfig(EngineKind::kFlit);
+  const auto scheme = MakeScheme(kind, vct_cfg.host);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto sys = System::Build({}, seed);
+    Rng rng(seed * 31 + static_cast<std::uint64_t>(kind));
+    auto draw = rng.SampleWithoutReplacement(sys->num_nodes(), 9);
+    const NodeId src = static_cast<NodeId>(draw.front());
+    std::vector<NodeId> dests;
+    for (std::size_t i = 1; i < draw.size(); ++i)
+      dests.push_back(static_cast<NodeId>(draw[i]));
+
+    const MulticastResult vct =
+        PlayOnce(*sys, vct_cfg,
+                 scheme->Plan(*sys, src, dests, vct_cfg.message,
+                              vct_cfg.headers));
+    const MulticastResult flit =
+        PlayOnce(*sys, flit_cfg,
+                 scheme->Plan(*sys, src, dests, flit_cfg.message,
+                              flit_cfg.headers));
+
+    ASSERT_EQ(vct.completion, flit.completion) << "seed " << seed;
+    ASSERT_EQ(vct.num_dests, flit.num_dests) << "seed " << seed;
+    // Same per-destination delivery times, not just the same makespan.
+    // Deliveries landing on the same cycle may be reported in either
+    // order, so compare as sorted sets.
+    auto sorted = [](std::vector<std::pair<NodeId, Cycles>> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    ASSERT_EQ(sorted(vct.deliveries), sorted(flit.deliveries))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, EngineXCheck,
+    ::testing::Values(SchemeKind::kUnicastBinomial, SchemeKind::kNiKBinomial,
+                      SchemeKind::kTreeWorm, SchemeKind::kPathWorm),
+    [](const auto& info) { return std::string(ToIdent(info.param)); });
+
+// Loaded-run agreement at default buffers. Regression for a real
+// deadlock: buffer_flits used to default to the 128-flit data payload,
+// one worm *including header flits* (134 for a degree-8 tree worm) did
+// not fit, absorption failed, and sustained multidestination load
+// wedged the flit engine (every multicast unfinished, link utilization
+// near zero). The default must absorb whole worms, and then the two
+// engines agree on full load statistics, not just lone multicasts.
+TEST(EngineXCheckLoaded, OpenLoopSweepPointAgreesAtDefaultBuffers) {
+  auto run = [](EngineKind engine) {
+    LoadRunSpec spec;
+    spec.cfg.engine = engine;
+    spec.scheme = SchemeKind::kTreeWorm;
+    spec.degree = 8;
+    spec.effective_load = 0.3;
+    spec.warmup = 2000;
+    spec.horizon = 15000;
+    spec.topologies = 1;
+    return RunLoadSweepPoint(spec);
+  };
+  const LoadRunResult vct = run(EngineKind::kVct);
+  const LoadRunResult flit = run(EngineKind::kFlit);
+  ASSERT_GT(vct.completed, 0);
+  EXPECT_FALSE(flit.saturated);
+  EXPECT_EQ(flit.completed, vct.completed);
+  EXPECT_EQ(flit.unfinished, vct.unfinished);
+  EXPECT_DOUBLE_EQ(flit.mean_latency, vct.mean_latency);
+}
+
+// --- flit-engine determinism: same contract as the VCT engine ---
+
+TEST(FlitEngineDeterminism, TraceExportsAreThreadCountInvariant) {
+  ThreadsGuard guard;
+  auto run = [] {
+    Tracer tracer;
+    SingleRunSpec spec;
+    spec.cfg.engine = EngineKind::kFlit;
+    spec.scheme = SchemeKind::kTreeWorm;
+    spec.multicast_size = 6;
+    spec.topologies = 4;
+    spec.samples_per_topology = 2;
+    spec.tracer = &tracer;
+    RunSingleMulticast(spec);
+    return tracer;
+  };
+  SetParallelThreads(1);
+  const Tracer t1 = run();
+  SetParallelThreads(2);
+  const Tracer t2 = run();
+  SetParallelThreads(8);
+  const Tracer t8 = run();
+  ASSERT_GT(t1.size(), 0u);
+  const std::string jsonl = ToJsonLines(t1);
+  EXPECT_EQ(ToJsonLines(t2), jsonl);
+  EXPECT_EQ(ToJsonLines(t8), jsonl);
+  const std::string chrome = ToChromeTrace(t1);
+  EXPECT_EQ(ToChromeTrace(t2), chrome);
+  EXPECT_EQ(ToChromeTrace(t8), chrome);
+}
+
+TEST(FlitEngineDeterminism, MetricsExportIsThreadCountInvariant) {
+  ThreadsGuard guard;
+  auto run = [](int threads) {
+    SetParallelThreads(threads);
+    SingleRunSpec spec;
+    spec.cfg.engine = EngineKind::kFlit;
+    spec.scheme = SchemeKind::kPathWorm;
+    spec.multicast_size = 6;
+    spec.topologies = 6;
+    spec.samples_per_topology = 2;
+    return ToJson(RunSingleMulticast(spec).metrics);
+  };
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("flit.flits_moved"), std::string::npos);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace irmc

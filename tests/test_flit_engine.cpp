@@ -47,14 +47,18 @@ std::map<NodeId, std::pair<Cycles, Cycles>> RunVct(
 std::map<NodeId, std::pair<Cycles, Cycles>> RunFlit(
     const System& sys, const std::vector<std::pair<NodeId, PacketPtr>>& txs,
     int buffer_flits = 128) {
-  FlitEngineParams params;
+  Engine engine;
+  NetParams params;
+  params.adaptive = false;
   params.buffer_flits = buffer_flits;
-  FlitEngine engine(sys, params);
-  for (const auto& [n, p] : txs)
-    engine.Inject(n, std::make_shared<Packet>(*p), 0);
   std::map<NodeId, std::pair<Cycles, Cycles>> out;
-  for (const auto& d : engine.Run())
-    out[d.node] = {d.head_arrive, d.tail_arrive};
+  FlitEngine flit(engine, sys, params,
+                  [&](NodeId n, const PacketPtr&, Cycles h, Cycles t) {
+                    out[n] = {h, t};
+                  });
+  for (const auto& [n, p] : txs)
+    flit.InjectFromNi(n, std::make_shared<Packet>(*p), 0);
+  engine.RunToQuiescence();
   return out;
 }
 
@@ -108,12 +112,38 @@ TEST(FlitEngine, LineLatencyExact) {
   g.AttachHost(1, 3);
   g.AttachHost(2, 3);
   System sys{std::move(g)};
-  FlitEngine engine(sys, {});
-  engine.Inject(0, Unicast(0, 2, 128), 0);
-  const auto deliveries = engine.Run();
+  Engine engine;
+  std::vector<std::pair<Cycles, Cycles>> deliveries;
+  FlitEngine flit(engine, sys, {},
+                  [&](NodeId, const PacketPtr&, Cycles h, Cycles t) {
+                    deliveries.emplace_back(h, t);
+                  });
+  flit.InjectFromNi(0, Unicast(0, 2, 128), 0);
+  engine.RunToQuiescence();
   ASSERT_EQ(deliveries.size(), 1u);
-  EXPECT_EQ(deliveries[0].head_arrive, 10);
-  EXPECT_EQ(deliveries[0].tail_arrive, 10 + 130 - 1);
+  EXPECT_EQ(deliveries[0].first, 10);
+  EXPECT_EQ(deliveries[0].second, 10 + 130 - 1);
+}
+
+TEST(FlitEngine, IdleGapsCostNoCycles) {
+  // Event-driven stepping: an injection ready at cycle 100'000 must not
+  // make the engine step the 100'000 idle cycles before it.
+  Graph g(2, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AttachHost(0, 3);
+  g.AttachHost(1, 3);
+  System sys{std::move(g)};
+  Engine engine;
+  int delivered = 0;
+  FlitEngine flit(engine, sys, {},
+                  [&](NodeId, const PacketPtr&, Cycles, Cycles) {
+                    ++delivered;
+                  });
+  flit.InjectFromNi(0, Unicast(0, 1, 50), 100'000);
+  engine.RunToQuiescence();
+  EXPECT_EQ(delivered, 1);
+  // Only the active window around the transfer is stepped.
+  EXPECT_LT(flit.cycles_stepped(), 200);
 }
 
 TEST(FlitEngine, SmallBuffersStretchWormAcrossLinks) {
@@ -130,25 +160,36 @@ TEST(FlitEngine, SmallBuffersStretchWormAcrossLinks) {
   System sys{std::move(g)};
 
   {  // uncontended: buffer size irrelevant
-    FlitEngineParams params;
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
     params.buffer_flits = 4;
-    FlitEngine engine(sys, params);
-    engine.Inject(0, Unicast(0, 2, 128), 0);
-    const auto d = engine.Run();
-    ASSERT_EQ(d.size(), 1u);
-    EXPECT_EQ(d[0].head_arrive, 10);
+    std::vector<Cycles> heads;
+    FlitEngine flit(engine, sys, params,
+                    [&](NodeId, const PacketPtr&, Cycles h, Cycles) {
+                      heads.push_back(h);
+                    });
+    flit.InjectFromNi(0, Unicast(0, 2, 128), 0);
+    engine.RunToQuiescence();
+    ASSERT_EQ(heads.size(), 1u);
+    EXPECT_EQ(heads[0], 10);
   }
   {  // contended: two worms to the same switch serialize
-    FlitEngineParams params;
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
     params.buffer_flits = 4;
-    FlitEngine engine(sys, params);
-    engine.Inject(0, Unicast(0, 2, 128), 0);
-    engine.Inject(1, Unicast(1, 3, 128), 0);
-    const auto d = engine.Run(100000);
-    ASSERT_EQ(d.size(), 2u);
-    const Cycles spread =
-        std::max(d[0].tail_arrive, d[1].tail_arrive) -
-        std::min(d[0].tail_arrive, d[1].tail_arrive);
+    std::vector<Cycles> tails;
+    FlitEngine flit(engine, sys, params,
+                    [&](NodeId, const PacketPtr&, Cycles, Cycles t) {
+                      tails.push_back(t);
+                    });
+    flit.InjectFromNi(0, Unicast(0, 2, 128), 0);
+    flit.InjectFromNi(1, Unicast(1, 3, 128), 0);
+    engine.RunToQuiescence();
+    ASSERT_EQ(tails.size(), 2u);
+    const Cycles spread = std::max(tails[0], tails[1]) -
+                          std::min(tails[0], tails[1]);
     EXPECT_GE(spread, 100);
   }
 }
@@ -167,14 +208,22 @@ TEST(FlitEngine, BlockTracePairsSumToBlockedCyclesCounter) {
   g.AttachHost(2, 5);  // node 3
   System sys{std::move(g)};
 
-  FlitEngineParams params;
+  Engine engine;
+  NetParams params;
+  params.adaptive = false;
   params.buffer_flits = 4;
   MetricsRegistry reg;
   Tracer tracer;
-  FlitEngine engine(sys, params, &reg, &tracer);
-  engine.Inject(0, Unicast(0, 2, 128), 0);
-  engine.Inject(1, Unicast(1, 3, 128), 0);
-  ASSERT_EQ(engine.Run(100000).size(), 2u);
+  int delivered = 0;
+  FlitEngine flit(engine, sys, params,
+                  [&](NodeId, const PacketPtr&, Cycles, Cycles) {
+                    ++delivered;
+                  },
+                  &tracer, &reg);
+  flit.InjectFromNi(0, Unicast(0, 2, 128), 0);
+  flit.InjectFromNi(1, Unicast(1, 3, 128), 0);
+  engine.RunToQuiescence();
+  ASSERT_EQ(delivered, 2);
 
   const std::int64_t counter = reg.GetCounter("flit.blocked_cycles").value;
   ASSERT_GT(counter, 0);  // the scenario really does block
@@ -206,16 +255,50 @@ TEST(FlitEngine, MultipleInjectionsSameNodeSerialize) {
   g.AttachHost(0, 3);
   g.AttachHost(1, 3);
   System sys{std::move(g)};
-  FlitEngine engine(sys, {});
-  engine.Inject(0, Unicast(0, 1, 50), 0);
-  engine.Inject(0, Unicast(0, 1, 50), 0);
-  const auto d = engine.Run();
-  ASSERT_EQ(d.size(), 2u);
+  Engine engine;
+  std::vector<Cycles> heads;
+  FlitEngine flit(engine, sys, {},
+                  [&](NodeId, const PacketPtr&, Cycles h, Cycles) {
+                    heads.push_back(h);
+                  });
+  flit.InjectFromNi(0, Unicast(0, 1, 50), 0);
+  flit.InjectFromNi(0, Unicast(0, 1, 50), 0);
+  engine.RunToQuiescence();
+  ASSERT_EQ(heads.size(), 2u);
   // 52 wire flits plus the route+xbar offset before the input-port
   // buffer frees for the second worm — identical to the VCT engine.
-  EXPECT_EQ(d[1].head_arrive - d[0].head_arrive, 55);
+  EXPECT_EQ(heads[1] - heads[0], 55);
 }
 
+using FlitEngineDeathTest = ::testing::Test;
+
+TEST(FlitEngineDeathTest, DeadlockHorizonNamesStuckWormsAndPorts) {
+  // Spur topology: a long blocker occupies switch B's input from A while
+  // a victim worm behind it cannot make progress. With a tiny buffer and
+  // a tiny horizon, the victim's credit-stall streak trips the deadlock
+  // check, and the failure must name the stuck worm and its port.
+  auto run = []() {
+    Graph g(3, 6);
+    g.AddLink(0, 0, 1, 0);
+    g.AddLink(1, 1, 2, 0);
+    g.AttachHost(0, 4);  // node 0
+    g.AttachHost(0, 5);  // node 1
+    g.AttachHost(2, 4);  // node 2
+    g.AttachHost(2, 5);  // node 3
+    System sys{std::move(g)};
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
+    params.buffer_flits = 4;
+    params.deadlock_horizon = 16;  // far below the real drain time
+    FlitEngine flit(engine, sys, params,
+                    [](NodeId, const PacketPtr&, Cycles, Cycles) {});
+    flit.InjectFromNi(0, Unicast(0, 2, 128), 0);
+    flit.InjectFromNi(1, Unicast(1, 3, 128), 0);
+    engine.RunToQuiescence();
+  };
+  EXPECT_DEATH(run(), "blocked past deadlock horizon.*blocked worms:");
+}
 
 class ContendedXCheck : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -248,10 +331,15 @@ TEST_P(ContendedXCheck, EnginesAgreeExactlyUnderContention) {
     engine.RunToQuiescence();
   }
   {
-    FlitEngine engine(*sys, {});
-    for (const auto& [s, t, r] : txs) engine.Inject(s, Unicast(s, t), r);
-    for (const auto& d : engine.Run(1'000'000))
-      flit_set.insert({d.node, d.head_arrive, d.tail_arrive});
+    Engine engine;
+    NetParams params;
+    params.adaptive = false;
+    FlitEngine flit(engine, *sys, params,
+                    [&](NodeId n, const PacketPtr&, Cycles h, Cycles t) {
+                      flit_set.insert({n, h, t});
+                    });
+    for (const auto& [s, t, r] : txs) flit.InjectFromNi(s, Unicast(s, t), r);
+    engine.RunToQuiescence();
   }
   EXPECT_EQ(vct_set, flit_set);
 }

@@ -193,7 +193,7 @@ TEST(LinkReports, UtilizationAndFlitAccounting) {
                 [](const MulticastResult&) {});
   const Cycles end = engine.RunToQuiescence();
 
-  const auto reports = driver.fabric().LinkReports(end);
+  const auto reports = driver.network().LinkReports(end);
   ASSERT_FALSE(reports.empty());
   std::int64_t total_flits = 0;
   for (const auto& r : reports) {
@@ -201,9 +201,9 @@ TEST(LinkReports, UtilizationAndFlitAccounting) {
     EXPECT_LE(r.utilization, 1.0);
     total_flits += r.flits;
   }
-  EXPECT_EQ(total_flits, driver.fabric().flits_sent());
-  EXPECT_GT(driver.fabric().MaxLinkUtilization(end), 0.0);
-  EXPECT_LE(driver.fabric().MaxLinkUtilization(end), 1.0);
+  EXPECT_EQ(total_flits, driver.network().flits_sent());
+  EXPECT_GT(driver.network().MaxLinkUtilization(end), 0.0);
+  EXPECT_LE(driver.network().MaxLinkUtilization(end), 1.0);
 }
 
 TEST(LinkReports, IdleFabricIsAllZero) {
@@ -211,7 +211,7 @@ TEST(LinkReports, IdleFabricIsAllZero) {
   SimConfig cfg;
   Engine engine;
   McastDriver driver(engine, *sys, cfg);
-  for (const auto& r : driver.fabric().LinkReports(1000)) {
+  for (const auto& r : driver.network().LinkReports(1000)) {
     EXPECT_EQ(r.flits, 0);
     EXPECT_EQ(r.utilization, 0.0);
   }

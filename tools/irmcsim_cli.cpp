@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/args.hpp"
+#include "common/expect.hpp"
 #include "mcast/binomial.hpp"
 #include "core/executor.hpp"
 #include "core/load_runner.hpp"
@@ -131,6 +132,13 @@ SimConfig ConfigFrom(const Args& args) {
   cfg.message.packet_flits =
       static_cast<int>(args.GetInt("packet-flits", cfg.message.packet_flits));
   cfg.host.SetRatio(args.GetDouble("ratio", cfg.host.R()));
+  // --engine vct|flit selects the network engine; --buffer-flits sizes
+  // the flit engine's per-port input buffers (see docs/engines.md).
+  const std::string engine_name =
+      args.GetChoice("engine", ToString(cfg.engine), {"vct", "flit"});
+  IRMC_ENSURE(EngineKindFromString(engine_name, &cfg.engine));
+  cfg.net.buffer_flits =
+      static_cast<int>(args.GetInt("buffer-flits", cfg.net.buffer_flits));
   cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
   // --threads N overrides IRMC_THREADS for the trial executor (1 = serial).
   const int threads = static_cast<int>(args.GetInt("threads", 0));
@@ -145,6 +153,10 @@ int Usage() {
                "schemes: uni-binomial ni-kbinomial tree-worm path-worm flat\n"
                "common:  --switches N --nodes N --ports N --packets N\n"
                "         --packet-flits N --ratio R --seed S\n"
+               "         --engine vct|flit  (network engine; flit = true "
+               "wormhole, finite buffers)\n"
+               "         --buffer-flits N  (flit engine per-port input "
+               "buffer)\n"
                "         --threads N  (parallel trials; default "
                "IRMC_THREADS or all cores)\n"
                "         --metrics FILE  (single/load/dsm: write merged "
@@ -193,13 +205,12 @@ int CmdLoad(const Args& args) {
   spec.horizon = args.GetInt("horizon", 150'000);
   spec.warmup = spec.horizon / 10;
   spec.topologies = static_cast<int>(args.GetInt("topologies", 2));
-  const std::string pattern = args.GetString("pattern", "uniform");
+  const std::string pattern = args.GetChoice(
+      "pattern", "uniform", {"uniform", "clustered", "hotspot"});
   if (pattern == "clustered")
     spec.pattern = DestPattern::kClustered;
   else if (pattern == "hotspot")
     spec.pattern = DestPattern::kHotspot;
-  else if (pattern != "uniform")
-    return Usage();
   const TraceSpec tspec = GetTraceSpec(args);
   Tracer tracer;
   if (tspec.enabled()) {
