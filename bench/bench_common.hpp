@@ -12,7 +12,8 @@
 //                    output is bit-identical for any thread count.
 //   IRMC_METRICS_DIR directory for per-point metric sidecars
 //                    (<slug>.metrics.jsonl, one JSON line per data
-//                    point; default "."; set empty to disable).
+//                    point; default "bench-out/", created on demand;
+//                    set empty to disable).
 //   IRMC_ENGINE      network engine for every panel: "vct" (default) or
 //                    "flit". IRMC_ENGINE=flit replays the same figures
 //                    on the flit-level wormhole engine (see
@@ -22,6 +23,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -62,11 +64,15 @@ inline std::string SlugifyTitle(const std::string& title) {
   return s.empty() ? std::string("panel") : s;
 }
 
-/// Where sidecars go: $IRMC_METRICS_DIR, defaulting to the working
-/// directory. An explicitly empty value disables sidecar output.
+/// Where sidecars go: $IRMC_METRICS_DIR, defaulting to a `bench-out/`
+/// subdirectory of the working directory (created on demand) so runs
+/// don't strew sidecars over the repo root. An explicitly empty value
+/// disables sidecar output.
 inline std::string MetricsDir() {
   const char* dir = std::getenv("IRMC_METRICS_DIR");
-  return dir != nullptr ? std::string(dir) : std::string(".");
+  std::string out = dir != nullptr ? std::string(dir) : std::string("bench-out");
+  if (!out.empty()) std::filesystem::create_directories(out);
+  return out;
 }
 
 /// Per-point metric sidecar for one panel: appends one JSON line per

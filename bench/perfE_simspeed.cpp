@@ -6,16 +6,18 @@
 // After the google-benchmark suites, a custom main times an identical
 // load sweep point on each engine (and, for the VCT engine, with
 // metrics collection on and off), reports everything in events/sec
-// side by side, and writes BENCH_perfE.json (to IRMC_METRICS_DIR,
-// default ".") with both engine series and the measured metrics
-// overhead. Overhead above 5% prints a FAIL line but exits 0 — the
-// gate is informational; timing noise on shared CI runners must not
+// side by side, times the static deadlock analysis throughput, and
+// writes BENCH_perfE.json (to IRMC_METRICS_DIR, default "bench-out/")
+// with both engine series, the analysis runtime, and the measured
+// metrics overhead. Overhead above 5% prints a FAIL line but exits 0 —
+// the gate is informational; timing noise on shared CI runners must not
 // turn it into a flake.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "core/executor.hpp"
@@ -25,6 +27,7 @@
 #include "mcast/scheme.hpp"
 #include "metrics/export.hpp"
 #include "topology/system.hpp"
+#include "verify/deadlock.hpp"
 
 namespace {
 
@@ -161,6 +164,38 @@ TimedSweep TimeSweep(EngineKind engine, bool collect_metrics) {
   return out;
 }
 
+/// Wall time of the static multicast deadlock analysis (all four
+/// schemes x both routing modes, verify/deadlock.hpp) over a batch of
+/// random topologies. The analyzer runs per-topology in CI, so its
+/// throughput bounds how many sampled topologies a verification sweep
+/// can afford.
+struct TimedAnalysis {
+  int topologies = 0;
+  double seconds = 0.0;
+  double PerSec() const {
+    return seconds > 0.0 ? static_cast<double>(topologies) / seconds : 0.0;
+  }
+};
+
+TimedAnalysis TimeDeadlockAnalysis() {
+  constexpr int kTopologies = 20;
+  const verify::DeadlockSpec dspec;  // flit engine, default buffers
+  TimedAnalysis out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTopologies; ++i) {
+    TopologySpec spec;
+    spec.num_switches = 8 << (i % 3);  // 8 / 16 / 32
+    const auto sys = System::Build(spec, 1000 + static_cast<std::uint64_t>(i));
+    const verify::CheckResult r = verify::CheckMulticastDeadlock(*sys, dspec);
+    benchmark::DoNotOptimize(r);
+    ++out.topologies;
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
 /// JSON fragment for one timed series.
 std::string SweepJson(const TimedSweep& s) {
   char buf[160];
@@ -207,9 +242,15 @@ int RunEngineComparisonAndMetricsGate() {
               best_on.EventsPerSec(), best_off.EventsPerSec(), overhead_pct,
               kGatePct, pass ? "PASS" : "FAIL (informational)");
 
+  const TimedAnalysis analysis = TimeDeadlockAnalysis();
+  std::printf("static deadlock analysis: %d topologies in %.3gs "
+              "(%.3g topologies/s, 8 scheme/mode combos each)\n",
+              analysis.topologies, analysis.seconds, analysis.PerSec());
+
   const char* env_dir = std::getenv("IRMC_METRICS_DIR");
-  const std::string dir = env_dir != nullptr ? env_dir : ".";
+  const std::string dir = env_dir != nullptr ? env_dir : "bench-out";
   if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
     std::string json = "{\"bench\":\"perfE_simspeed\",";
     json += "\"engines\":{\"vct\":" + SweepJson(best_on) +
             ",\"flit\":" + SweepJson(best_flit) + "},";
@@ -218,6 +259,12 @@ int RunEngineComparisonAndMetricsGate() {
                   "\"gate_pct\":%.17g,\"metrics_on\":", kGatePct);
     json += buf;
     json += SweepJson(best_on) + ",\"metrics_off\":" + SweepJson(best_off);
+    std::snprintf(
+        buf, sizeof buf,
+        ",\"deadlock_analysis\":{\"topologies\":%d,\"seconds\":%.17g,"
+        "\"topologies_per_sec\":%.17g}",
+        analysis.topologies, analysis.seconds, analysis.PerSec());
+    json += buf;
     std::snprintf(buf, sizeof buf, ",\"overhead_pct\":%.17g,\"pass\":%s}\n",
                   overhead_pct, pass ? "true" : "false");
     json += buf;

@@ -150,6 +150,7 @@ void FlitEngine::ScheduleTick(Cycles when) {
 }
 
 void FlitEngine::Tick() {
+  if (frozen_) return;  // deadlock handler fired: stay wedged, stay quiet
   const Cycles now = engine_.Now();
   if (now <= last_processed_) return;  // duplicate wake-up for a done cycle
   last_processed_ = now;
@@ -361,8 +362,10 @@ void FlitEngine::MoveFlits(Cycles now) {
         if (m_blocked_) m_blocked_->Add();
         if (b.stall_len == 0) b.stall_begin = now;
         ++b.stall_len;
-        if (b.stall_len > params_.deadlock_horizon)
+        if (b.stall_len > params_.deadlock_horizon) {
           DeadlockTrip(now, c.active_branch);
+          if (frozen_) return;  // handler consumed the trip; stop moving
+        }
         continue;
       }
     }
@@ -411,6 +414,9 @@ void FlitEngine::CloseStreak(BranchState& b) {
 }
 
 void FlitEngine::DeadlockTrip(Cycles now, int trip_branch) {
+  FlitDeadlockInfo info;
+  info.now = now;
+  info.horizon = params_.deadlock_horizon;
   std::string msg;
   char buf[256];
   const BranchState& trip = branches_[static_cast<std::size_t>(trip_branch)];
@@ -432,6 +438,19 @@ void FlitEngine::DeadlockTrip(Cycles now, int trip_branch) {
     const Worm& src = worms_[static_cast<std::size_t>(b.src_worm)];
     const bool starved = b.stall_len == 0;
     if (starved && b.consumed < src.received) continue;  // genuinely moving
+    FlitDeadlockInfo::Pending pending;
+    pending.mcast_id = b.out_pkt->mcast_id;
+    pending.pkt_index = b.out_pkt->pkt_index;
+    if (b.channel < n_out) {
+      pending.sw = static_cast<SwitchId>(b.channel / ports_);
+      pending.port = static_cast<PortId>(b.channel % ports_);
+    } else {
+      pending.inj_node = static_cast<NodeId>(b.channel - n_out);
+    }
+    pending.stalled = !starved;
+    pending.reason = starved ? "starved of flits"
+                             : (b.stall_why ? b.stall_why : "stalled");
+    info.pending.push_back(pending);
     if (b.channel < n_out)
       std::snprintf(buf, sizeof buf,
                     "\n  worm (mcast %lld pkt %d) at switch %d port %d",
@@ -467,6 +486,11 @@ void FlitEngine::DeadlockTrip(Cycles now, int trip_branch) {
         msg += buf;
       }
     }
+  }
+  if (on_deadlock_) {
+    frozen_ = true;  // set first so a re-entrant tick cannot re-trip
+    on_deadlock_(info);
+    return;
   }
   detail::ContractFailure("invariant", "flit worm blocked past deadlock horizon",
                           __FILE__, __LINE__, "%s", msg.c_str());

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "metrics/metrics.hpp"
@@ -36,6 +37,30 @@
 #include "trace/tracer.hpp"
 
 namespace irmc {
+
+/// Snapshot handed to a deadlock handler when a worm blows past the
+/// deadlock horizon: every pending branch with where it sits and why it
+/// is not moving. Mirrors the text report the default (aborting) trip
+/// prints; the static analyzer's soundness harness consumes it to match
+/// dynamic trips against static findings.
+struct FlitDeadlockInfo {
+  Cycles now = 0;
+  Cycles horizon = 0;
+  struct Pending {
+    std::int64_t mcast_id = -1;
+    int pkt_index = 0;
+    /// Switch-channel position (sw/port), or injection source when
+    /// sw == kInvalidSwitch (then inj_node is set).
+    SwitchId sw = kInvalidSwitch;
+    PortId port = kInvalidPort;
+    NodeId inj_node = kInvalidNode;
+    /// True for an open credit-stall streak; false for a branch merely
+    /// starved of flits by its upstream.
+    bool stalled = false;
+    const char* reason = nullptr;
+  };
+  std::vector<Pending> pending;
+};
 
 class FlitEngine final : public NetworkModel {
  public:
@@ -64,6 +89,19 @@ class FlitEngine final : public NetworkModel {
 
   /// Cycles actually stepped (idle gaps cost nothing).
   std::int64_t cycles_stepped() const { return ticks_; }
+
+  /// Installs a deadlock handler. By default a worm blocked past the
+  /// horizon aborts the process with a full report; with a handler the
+  /// engine instead calls it once and freezes (drops every future tick),
+  /// so a test harness can observe the trip and keep the process alive.
+  using DeadlockHandler = std::function<void(const FlitDeadlockInfo&)>;
+  void SetDeadlockHandler(DeadlockHandler handler) {
+    on_deadlock_ = std::move(handler);
+  }
+
+  /// True once the deadlock handler has fired (the engine is wedged and
+  /// will not step again).
+  bool deadlock_tripped() const { return frozen_; }
 
  private:
   /// A worm copy resident in (or streaming through) an input buffer;
@@ -177,7 +215,8 @@ class FlitEngine final : public NetworkModel {
 
   void DeliverBranch(BranchState& b, Cycles tail_arrive);
   void CloseStreak(BranchState& b);
-  [[noreturn]] void DeadlockTrip(Cycles now, int trip_branch);
+  /// Aborts (default) or invokes the deadlock handler and freezes.
+  void DeadlockTrip(Cycles now, int trip_branch);
 
   void TraceAt(Cycles time, TraceKind kind, const Packet& pkt,
                std::int32_t actor, std::int32_t detail) {
@@ -211,6 +250,9 @@ class FlitEngine final : public NetworkModel {
   std::deque<std::pair<int, Cycles>> route_queue_;  // (worm, decision time)
   std::vector<std::deque<std::pair<PacketPtr, Cycles>>> inject_queues_;
   std::vector<int> pending_port_release_;
+
+  DeadlockHandler on_deadlock_;
+  bool frozen_ = false;  ///< deadlock handler fired; engine stays quiet
 
   Cycles last_processed_ = -1;  ///< highest cycle already stepped
   std::int64_t ticks_ = 0;

@@ -61,12 +61,12 @@ void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
   rem.Subtract(locals);
   if (rem.Empty()) return;
 
-  if (rem.IsSubsetOf(reach.DownCover(s))) {
+  const TreeRouteDecision decision = TreeWormDecision(sys, s, rem, pkt->phase);
+  if (decision.down) {
     // Replicate downward along the partitioned reachability strings.
     NodeSet covered(rem.capacity());
-    for (PortId p : sys.updown.DownPorts(s)) {
+    for (PortId p : decision.ports) {
       NodeSet part = rem & reach.Primary(s, p);
-      if (part.Empty()) continue;
       auto copy = pkt->CloneForBranch();
       copy->tree_dests = part;
       copy->phase = RoutePhase::kDownOnly;
@@ -77,19 +77,7 @@ void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
     return;
   }
 
-  // Not down-coverable from here: continue climbing toward a least
-  // common ancestor. Legal only while the worm has not gone down.
-  IRMC_ENSURE(pkt->phase == RoutePhase::kUpAllowed);
-  const auto& ups = sys.updown.UpPorts(s);
-  IRMC_ENSURE(!ups.empty());
-  std::vector<PortId> sufficient;
-  for (PortId p : ups) {
-    const SwitchId t = sys.graph.port(s, p).peer_switch;
-    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
-      sufficient.push_back(p);
-  }
-  const std::vector<PortId>& cand = sufficient.empty() ? ups : sufficient;
-  const PortId p = PickPort(s, cand, adaptive, load);
+  const PortId p = PickPort(s, decision.ports, adaptive, load);
   auto copy = pkt->CloneForBranch();
   copy->tree_dests = rem;
   copy->phase = RoutePhase::kUpAllowed;
@@ -116,6 +104,33 @@ void RoutePathWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
 }
 
 }  // namespace
+
+TreeRouteDecision TreeWormDecision(const System& sys, SwitchId s,
+                                   const NodeSet& rem, RoutePhase phase) {
+  const Reachability& reach = sys.reach;
+  IRMC_EXPECT(!rem.Empty());
+  TreeRouteDecision decision;
+  if (rem.IsSubsetOf(reach.DownCover(s))) {
+    decision.down = true;
+    for (PortId p : sys.updown.DownPorts(s))
+      if (rem.Intersects(reach.Primary(s, p))) decision.ports.push_back(p);
+    return decision;
+  }
+
+  // Not down-coverable from here: continue climbing toward a least
+  // common ancestor. Legal only while the worm has not gone down.
+  IRMC_ENSURE(phase == RoutePhase::kUpAllowed);
+  const auto& ups = sys.updown.UpPorts(s);
+  IRMC_ENSURE(!ups.empty());
+  for (PortId p : ups) {
+    const SwitchId t = sys.graph.port(s, p).peer_switch;
+    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
+      decision.ports.push_back(p);
+  }
+  if (decision.ports.empty())
+    decision.ports.assign(ups.begin(), ups.end());
+  return decision;
+}
 
 void ComputeRouteBranches(const System& sys, SwitchId s, const PacketPtr& pkt,
                           bool adaptive, const PortLoadFn& load,

@@ -29,6 +29,30 @@ struct RouteBranch {
 /// the least-loaded candidate (first on ties).
 using PortLoadFn = std::function<int(SwitchId, PortId)>;
 
+/// What a tree worm does at switch `s` with its remaining *non-local*
+/// destination set `rem` in `phase`:
+///
+///  * down = true  — replicate downward: every listed port is taken,
+///    one branch per port, the header partitioned by the primary
+///    reachability strings;
+///  * down = false — climb: exactly one of the listed candidate up
+///    ports is taken (deterministic routing: the first; adaptive: the
+///    least loaded). Candidates are the up ports whose peer can finish
+///    covering `rem`, falling back to every up port when none can yet.
+///
+/// This is the single enumeration point for tree-worm moves: both
+/// engines route through it (via ComputeRouteBranches) and the static
+/// deadlock analyzer (verify/deadlock.hpp) builds its dependency edges
+/// from it, so the analyzed move relation is the executed one. Aborts
+/// if `rem` is empty or a non-coverable set is presented in down-only
+/// phase (the phase-rule violation RouteTreeWorm would also trip on).
+struct TreeRouteDecision {
+  bool down = false;
+  std::vector<PortId> ports;
+};
+TreeRouteDecision TreeWormDecision(const System& sys, SwitchId s,
+                                   const NodeSet& rem, RoutePhase phase);
+
 /// Computes every branch of `pkt` at switch `s` and appends them to
 /// `out` in deterministic order (host drops first, then network
 /// forwards). Clones narrow headers per branch, update the route phase

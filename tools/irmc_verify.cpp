@@ -7,6 +7,11 @@
 //       rebuilds the System Autonet-style and re-verifies the repaired
 //       tables.
 //
+//   irmc_verify --deadlock [--engine vct|flit] [--buffer-flits B]
+//       additionally runs the static multicast deadlock analyzer on
+//       every verified System: all four schemes x both routing modes
+//       against the given engine/buffer model (verify/deadlock.hpp).
+//
 //   irmc_verify --load FILE [--faults F]
 //       verifies a topology serialized by `irmcsim_cli topology --save`.
 //
@@ -25,6 +30,7 @@
 #include "topology/generator.hpp"
 #include "topology/serialize.hpp"
 #include "topology/system.hpp"
+#include "verify/deadlock.hpp"
 #include "verify/invariants.hpp"
 
 namespace {
@@ -32,20 +38,30 @@ namespace {
 using namespace irmc;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: irmc_verify [--trials N] [--seed S]\n"
-               "                   [--switches LIST] [--nodes N] [--ports P]\n"
-               "                   [--faults F] [--load FILE] [--verbose]\n"
-               "  --trials N     generated topologies to verify (default 20)\n"
-               "  --switches L   comma-separated switch counts the trials\n"
-               "                 cycle through (default 8,16,32)\n"
-               "  --nodes N      hosts per topology (default 32)\n"
-               "  --ports P      ports per switch (default 8)\n"
-               "  --faults F     per topology, inject F survivable link\n"
-               "                 faults, rebuild, and re-verify (default 0)\n"
-               "  --load FILE    verify a serialized topology instead of\n"
-               "                 generating\n"
-               "  --verbose      print every report, not only failures\n");
+  std::fprintf(
+      stderr,
+      "usage: irmc_verify [--trials N] [--seed S]\n"
+      "                   [--switches LIST] [--nodes N] [--ports P]\n"
+      "                   [--faults F] [--load FILE] [--verbose]\n"
+      "                   [--deadlock] [--engine vct|flit]\n"
+      "                   [--buffer-flits B] [--payload-flits D]\n"
+      "  --trials N       generated topologies to verify (default 20)\n"
+      "  --switches L     comma-separated switch counts the trials\n"
+      "                   cycle through (default 8,16,32)\n"
+      "  --nodes N        hosts per topology (default 32)\n"
+      "  --ports P        ports per switch (default 8)\n"
+      "  --faults F       per topology, inject F survivable link\n"
+      "                   faults, rebuild, and re-verify (default 0)\n"
+      "  --load FILE      verify a serialized topology instead of\n"
+      "                   generating\n"
+      "  --deadlock       also run the static multicast deadlock\n"
+      "                   analyzer (4 schemes x 2 routing modes)\n"
+      "  --engine E       engine model for --deadlock: vct or flit\n"
+      "                   (default flit; vct always absorbs worms)\n"
+      "  --buffer-flits B per-port input buffer for --deadlock\n"
+      "                   (default 256 flits)\n"
+      "  --payload-flits D worm payload for --deadlock (default 128)\n"
+      "  --verbose        print every report, not only failures\n");
   return 2;
 }
 
@@ -68,11 +84,21 @@ struct Tally {
   int failed = 0;
 };
 
+/// What to verify and how to print it.
+struct VerifyOpts {
+  bool verbose = false;
+  bool deadlock = false;
+  verify::DeadlockSpec spec;
+};
+
 /// Verifies one System, printing its report when it fails (or always,
 /// verbose). Returns true when every check passed.
-bool VerifyOne(const System& sys, const std::string& label, bool verbose) {
-  const verify::VerifyReport report = verify::VerifySystem(sys, label);
-  if (!report.pass() || verbose)
+bool VerifyOne(const System& sys, const std::string& label,
+               const VerifyOpts& opts) {
+  const verify::VerifyReport report =
+      opts.deadlock ? verify::VerifySystem(sys, label, opts.spec)
+                    : verify::VerifySystem(sys, label);
+  if (!report.pass() || opts.verbose)
     std::fputs(verify::Render(report).c_str(), stdout);
   return report.pass();
 }
@@ -103,7 +129,8 @@ int InjectFaults(Graph& g, int faults, Rng& rng) {
 /// the surviving topology (Autonet reconfiguration), verify the repaired
 /// tables.
 void VerifyFaulted(const Graph& pristine, int faults, std::uint64_t seed,
-                   const std::string& label, bool verbose, Tally& tally) {
+                   const std::string& label, const VerifyOpts& opts,
+                   Tally& tally) {
   Graph degraded = pristine;
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   const int injected = InjectFaults(degraded, faults, rng);
@@ -111,11 +138,11 @@ void VerifyFaulted(const Graph& pristine, int faults, std::uint64_t seed,
   const System sys(std::move(degraded));
   ++tally.faulted;
   if (!VerifyOne(sys, label + " (+" + std::to_string(injected) + " faults)",
-                 verbose))
+                 opts))
     ++tally.failed;
 }
 
-int RunLoaded(const std::string& path, int faults, bool verbose) {
+int RunLoaded(const std::string& path, int faults, const VerifyOpts& opts) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "irmc_verify: cannot read %s\n", path.c_str());
@@ -139,11 +166,13 @@ int RunLoaded(const std::string& path, int faults, bool verbose) {
   Tally tally;
   const Graph pristine = *g;
   const System sys(std::move(*g));
-  const verify::VerifyReport report = verify::VerifySystem(sys, path);
+  const verify::VerifyReport report =
+      opts.deadlock ? verify::VerifySystem(sys, path, opts.spec)
+                    : verify::VerifySystem(sys, path);
   ++tally.verified;
   if (!report.pass()) ++tally.failed;
   std::fputs(verify::Render(report).c_str(), stdout);
-  if (faults > 0) VerifyFaulted(pristine, faults, 1, path, verbose, tally);
+  if (faults > 0) VerifyFaulted(pristine, faults, 1, path, opts, tally);
   return tally.failed == 0 ? 0 : 1;
 }
 
@@ -161,16 +190,26 @@ int main(int argc, char** argv) {
   const int ports = static_cast<int>(args.GetInt("ports", 8));
   const int faults = static_cast<int>(args.GetInt("faults", 0));
   const std::string load = args.GetString("load", "");
-  const bool verbose = args.GetFlag("verbose");
+
+  VerifyOpts opts;
+  opts.verbose = args.GetFlag("verbose");
+  opts.deadlock = args.GetFlag("deadlock");
+  const std::string engine = args.GetChoice("engine", "flit", {"vct", "flit"});
+  opts.spec.engine = engine == "vct" ? EngineKind::kVct : EngineKind::kFlit;
+  opts.spec.net.buffer_flits =
+      static_cast<int>(args.GetInt("buffer-flits", opts.spec.net.buffer_flits));
+  opts.spec.payload_flits =
+      static_cast<int>(args.GetInt("payload-flits", opts.spec.payload_flits));
 
   for (const std::string& key : args.UnconsumedKeys()) {
     std::fprintf(stderr, "unknown option: --%s\n", key.c_str());
     return Usage();
   }
-  if (sizes.empty() || trials <= 0 || nodes <= 0 || ports <= 0 || faults < 0)
+  if (sizes.empty() || trials <= 0 || nodes <= 0 || ports <= 0 || faults < 0 ||
+      opts.spec.net.buffer_flits <= 0 || opts.spec.payload_flits <= 0)
     return Usage();
 
-  if (!load.empty()) return RunLoaded(load, faults, verbose);
+  if (!load.empty()) return RunLoaded(load, faults, opts);
 
   Tally tally;
   for (int i = 0; i < trials; ++i) {
@@ -184,9 +223,9 @@ int main(int argc, char** argv) {
                               ", seed=" + std::to_string(trial_seed) + ")";
     const auto sys = System::Build(spec, trial_seed);
     ++tally.verified;
-    if (!VerifyOne(*sys, label, verbose)) ++tally.failed;
+    if (!VerifyOne(*sys, label, opts)) ++tally.failed;
     if (faults > 0)
-      VerifyFaulted(sys->graph, faults, trial_seed, label, verbose, tally);
+      VerifyFaulted(sys->graph, faults, trial_seed, label, opts, tally);
   }
 
   if (tally.failed == 0)
