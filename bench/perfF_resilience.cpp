@@ -1,0 +1,195 @@
+// Resilience subsystem performance (docs/resilience.md). Not a paper
+// figure — this guards the cost of the runtime fault layer:
+//
+//   pristine  resilience disabled (the baseline every other PR gates on)
+//   guarded   resilience enabled with a zero-fault schedule — the price
+//             of the reliable-delivery layer (acks, dedup bitmaps) when
+//             nothing goes wrong; must stay within the informational 5%
+//             gate, mirroring perfE's metrics gate
+//   faulted   two mid-run faults per trial (mtbf-drawn): measures the
+//             full drop -> retransmit -> Autonet-reconfigure path,
+//             reported with the resilience.* counters
+//
+// Also times raw Autonet reconfiguration throughput (full System
+// rebuilds on degraded graphs), which bounds how fast faults can arrive
+// before reconfiguration becomes the simulation bottleneck. Writes
+// BENCH_perfF.json (to IRMC_METRICS_DIR, default "bench-out/"). The
+// guard-overhead gate prints FAIL above 5% but always exits 0 — timing
+// noise on shared CI runners must not turn it into a flake.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/parallel.hpp"
+#include "core/single_runner.hpp"
+#include "metrics/export.hpp"
+#include "resilience/fault_schedule.hpp"
+#include "topology/fault.hpp"
+#include "topology/system.hpp"
+
+namespace {
+
+using namespace irmc;
+
+struct TimedRun {
+  int samples = 0;
+  double seconds = 0.0;
+  double mean_latency = 0.0;
+  std::int64_t faults = 0;
+  std::int64_t drops = 0;
+  std::int64_t retransmits = 0;
+  std::int64_t reconfigs = 0;
+  double SamplesPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+  }
+};
+
+enum class Mode { kPristine, kGuarded, kFaulted };
+
+TimedRun TimeMode(Mode mode) {
+  SingleRunSpec spec;
+  spec.scheme = SchemeKind::kTreeWorm;
+  spec.multicast_size = 8;
+  spec.topologies = 40;
+  spec.samples_per_topology = 10;
+  spec.cfg.message.num_packets = 2;
+  spec.cfg.message.packet_flits = 64;
+  if (mode != Mode::kPristine) spec.cfg.resilience.enabled = true;
+  if (mode == Mode::kFaulted) {
+    spec.cfg.resilience.mtbf = 1'500.0;
+    spec.cfg.resilience.max_random_faults = 2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  SingleRunResult r = RunSingleMulticast(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.samples = r.samples;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.mean_latency = r.mean_latency;
+  out.faults = r.metrics.GetCounter("resilience.faults").value;
+  out.drops = r.metrics.GetCounter("resilience.drops").value;
+  out.retransmits = r.metrics.GetCounter("resilience.retransmits").value;
+  out.reconfigs = r.metrics.GetCounter("resilience.reconfigs").value;
+  return out;
+}
+
+/// Full Autonet reconfigurations (System rebuild on a degraded graph)
+/// per second, over a rotation of topologies and failed links.
+struct TimedReconfig {
+  int rebuilds = 0;
+  double seconds = 0.0;
+  double PerSec() const {
+    return seconds > 0.0 ? static_cast<double>(rebuilds) / seconds : 0.0;
+  }
+};
+
+TimedReconfig TimeReconfiguration() {
+  constexpr int kRebuilds = 200;
+  TimedReconfig out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRebuilds; ++i) {
+    TopologySpec spec;
+    const Graph g =
+        GenerateTopology(spec, 500 + static_cast<std::uint64_t>(i % 10));
+    const auto schedule =
+        MakeSurvivableSchedule(g, static_cast<std::uint64_t>(i), 1, 0, 1);
+    if (schedule.empty()) continue;
+    auto degraded = WithoutLink(g, schedule[0].sw, schedule[0].port);
+    const System sys{std::move(*degraded)};
+    ++out.rebuilds;
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+std::string RunJson(const TimedRun& r) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"samples\":%d,\"seconds\":%.17g,\"samples_per_sec\":%.17g,"
+      "\"mean_latency\":%.17g,\"faults\":%lld,\"drops\":%lld,"
+      "\"retransmits\":%lld,\"reconfigs\":%lld}",
+      r.samples, r.seconds, r.SamplesPerSec(), r.mean_latency,
+      static_cast<long long>(r.faults), static_cast<long long>(r.drops),
+      static_cast<long long>(r.retransmits),
+      static_cast<long long>(r.reconfigs));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kReps = 3;
+  constexpr double kGatePct = 5.0;
+  SetParallelThreads(1);  // serial: wall time == work, no scheduler noise
+  TimeMode(Mode::kPristine);  // warm caches/allocator before measuring
+  TimeMode(Mode::kFaulted);
+  TimedRun pristine, guarded, faulted;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Alternate modes so thermal/frequency drift hits all three.
+    const TimedRun p = TimeMode(Mode::kPristine);
+    const TimedRun g = TimeMode(Mode::kGuarded);
+    const TimedRun f = TimeMode(Mode::kFaulted);
+    if (rep == 0 || p.seconds < pristine.seconds) pristine = p;
+    if (rep == 0 || g.seconds < guarded.seconds) guarded = g;
+    if (rep == 0 || f.seconds < faulted.seconds) faulted = f;
+  }
+  SetParallelThreads(0);  // restore IRMC_THREADS / hardware default
+
+  const double guard_pct =
+      pristine.seconds > 0.0
+          ? 100.0 * (guarded.seconds - pristine.seconds) / pristine.seconds
+          : 0.0;
+  const bool pass = guard_pct <= kGatePct;
+  std::printf("zero-fault guard overhead: pristine %.3g samples/s, guarded "
+              "%.3g samples/s, %+.2f%% (gate %.0f%%) -- %s\n",
+              pristine.SamplesPerSec(), guarded.SamplesPerSec(), guard_pct,
+              kGatePct, pass ? "PASS" : "FAIL (informational)");
+  std::printf("guarded mean latency %.6g cycles (pristine %.6g — must "
+              "match: zero-fault runs only add out-of-band acks)\n",
+              guarded.mean_latency, pristine.mean_latency);
+  std::printf("faulted (mtbf 1500, <=2 faults/trial): %.3g samples/s, mean "
+              "latency %.6g cycles, %lld faults %lld drops %lld retransmits "
+              "%lld reconfigs\n",
+              faulted.SamplesPerSec(), faulted.mean_latency,
+              static_cast<long long>(faulted.faults),
+              static_cast<long long>(faulted.drops),
+              static_cast<long long>(faulted.retransmits),
+              static_cast<long long>(faulted.reconfigs));
+
+  const TimedReconfig reconfig = TimeReconfiguration();
+  std::printf("autonet reconfiguration: %d System rebuilds in %.3gs "
+              "(%.3g rebuilds/s)\n",
+              reconfig.rebuilds, reconfig.seconds, reconfig.PerSec());
+
+  const char* env_dir = std::getenv("IRMC_METRICS_DIR");
+  const std::string dir = env_dir != nullptr ? env_dir : "bench-out";
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+    std::string json = "{\"bench\":\"perfF_resilience\",";
+    json += "\"pristine\":" + RunJson(pristine) + ",";
+    json += "\"guarded\":" + RunJson(guarded) + ",";
+    json += "\"faulted\":" + RunJson(faulted) + ",";
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "\"reconfig\":{\"rebuilds\":%d,\"seconds\":%.17g,"
+                  "\"rebuilds_per_sec\":%.17g},",
+                  reconfig.rebuilds, reconfig.seconds, reconfig.PerSec());
+    json += buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"guard_overhead_pct\":%.17g,\"gate_pct\":%.17g,"
+                  "\"pass\":%s}\n",
+                  guard_pct, kGatePct, pass ? "true" : "false");
+    json += buf;
+    const std::string path = dir + "/BENCH_perfF.json";
+    if (!WriteFile(path, json))
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    else
+      std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

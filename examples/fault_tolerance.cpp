@@ -1,8 +1,12 @@
-// Fault tolerance: the irregular-network resilience story the paper's
-// introduction tells. Generate a network, find which links it can lose,
-// fail one, reconfigure Autonet-style (new BFS tree, new up/down
-// orientation, new routing tables), and show multicast still works —
-// with the latency cost of the lost capacity.
+// Fault tolerance, live: the runtime resilience subsystem end to end
+// (docs/resilience.md). Generate a network, draw a survivable fault
+// schedule, then run one multicast while the links actually go down
+// mid-flight: in-flight worms truncate, the source NI retransmits the
+// unacknowledged remainder with exponential backoff, and after the
+// detection + reconfiguration delay an Autonet-style rebuild (new BFS
+// tree, new up*/down* orientation, new routing tables) swaps into the
+// running engines. Every reconfigured System is re-verified with the
+// full six-check battery before it goes live (verify_reconfig).
 //
 //   $ ./fault_tolerance [seed]
 #include <cstdio>
@@ -10,58 +14,90 @@
 
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
-#include "topology/deadlock_check.hpp"
+#include "metrics/metrics.hpp"
+#include "resilience/fault_schedule.hpp"
 #include "topology/fault.hpp"
 #include "topology/system.hpp"
+#include "trace/tracer.hpp"
 
 int main(int argc, char** argv) {
   using namespace irmc;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
 
   TopologySpec spec;
-  const Graph g = GenerateTopology(spec, seed);
-  const auto critical = CriticalLinks(g);
-  std::printf("topology seed %llu: %d links, %zu critical (bridges)\n",
-              static_cast<unsigned long long>(seed), g.NumLinks(),
+  const auto sys = System::Build(spec, seed);
+  const auto critical = CriticalLinks(sys->graph);
+  std::printf("topology seed %llu: %d links, %zu critical (bridges, never "
+              "scheduled as faults)\n",
+              static_cast<unsigned long long>(seed), sys->graph.NumLinks(),
               critical.size());
 
   SimConfig cfg;
+  cfg.message.num_packets = 4;  // a long message keeps worms in flight
   std::vector<NodeId> dests;
   for (NodeId n = 1; n <= 15; ++n) dests.push_back(n);
   const auto scheme = MakeScheme(SchemeKind::kTreeWorm, cfg.host);
+  const McastPlan plan =
+      scheme->Plan(*sys, 0, dests, cfg.message, cfg.headers);
 
-  System intact{Graph(g)};
-  const auto before = PlayOnce(
-      intact, cfg, scheme->Plan(intact, 0, dests, cfg.message, cfg.headers));
-  std::printf("intact network: 15-way tree-worm multicast in %lld cycles\n",
+  // Baseline: the same multicast with no faults.
+  const auto before = PlayOnce(*sys, cfg, McastPlan(plan));
+  std::printf("pristine run: 15-way 4-packet tree-worm multicast in %lld "
+              "cycles\n",
               static_cast<long long>(before.Latency()));
 
-  int shown = 0;
-  for (const LinkRef& link : AllLinks(g)) {
-    auto degraded_graph = WithoutLink(g, link.sw, link.port);
-    if (!degraded_graph.has_value()) {
-      std::printf("  link sw%d.p%d: CRITICAL - losing it would partition "
-                  "the network\n",
-                  link.sw, link.port);
-      continue;
-    }
-    if (shown >= 4) continue;  // a few survivable examples suffice
-    ++shown;
-    System degraded{std::move(*degraded_graph)};
-    // Reconfiguration must preserve deadlock freedom.
-    const auto check = CheckChannelDependencies(degraded);
-    const auto after = PlayOnce(
-        degraded, cfg,
-        scheme->Plan(degraded, 0, dests, cfg.message, cfg.headers));
-    std::printf("  link sw%d.p%d failed -> reconfigured: multicast %lld "
-                "cycles (%+lld), dependency graph %s\n",
-                link.sw, link.port,
-                static_cast<long long>(after.Latency()),
-                static_cast<long long>(after.Latency() - before.Latency()),
-                check.acyclic ? "acyclic (deadlock-free)" : "CYCLIC!");
+  // Two random faults timed to land while the multicast is in flight,
+  // each guaranteed (against the bridge oracle) to leave the surviving
+  // switches connected.
+  cfg.resilience.enabled = true;
+  cfg.resilience.verify_reconfig = true;
+  cfg.resilience.schedule =
+      MakeSurvivableSchedule(sys->graph, seed, 2, 1'050, 2'200);
+  std::printf("fault schedule: %s (t:switch:port)\n",
+              FormatFaultSchedule(cfg.resilience.schedule).c_str());
+
+  Tracer tracer;
+  MetricsRegistry reg;
+  const auto after = PlayOnce(*sys, cfg, McastPlan(plan), &tracer, &reg);
+
+  std::printf("faulted run: all %zu destinations delivered exactly once in "
+              "%lld cycles (%+lld vs pristine)\n",
+              after.deliveries.size(),
+              static_cast<long long>(after.Latency()),
+              static_cast<long long>(after.Latency() - before.Latency()));
+  std::printf("  %lld faults injected, %lld in-flight packets dropped\n",
+              static_cast<long long>(reg.GetCounter("resilience.faults").value),
+              static_cast<long long>(reg.GetCounter("resilience.drops").value));
+  std::printf("  NI retransmit: %lld repair waves, %lld duplicate packets "
+              "swallowed by receiver dedup, %lld acks\n",
+              static_cast<long long>(
+                  reg.GetCounter("resilience.retransmits").value),
+              static_cast<long long>(
+                  reg.GetCounter("resilience.duplicates").value),
+              static_cast<long long>(reg.GetCounter("resilience.acks").value));
+  std::printf("  Autonet: %lld reconfigurations (%lld cycles detection + "
+              "rebuild), %lld deliveries inside the degraded window\n",
+              static_cast<long long>(
+                  reg.GetCounter("resilience.reconfigs").value),
+              static_cast<long long>(
+                  reg.GetCounter("resilience.reconfig_cycles").value),
+              static_cast<long long>(
+                  reg.GetCounter("resilience.degraded_deliveries").value));
+
+  // The trace tells the same story event by event.
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.kind == TraceKind::kFault)
+      std::printf("  t=%-6lld link sw%d.p%d went down\n",
+                  static_cast<long long>(e.time), e.actor, e.detail);
+    else if (e.kind == TraceKind::kDrop)
+      std::printf("  t=%-6lld packet %lld.%d truncated at sw%d\n",
+                  static_cast<long long>(e.time),
+                  static_cast<long long>(e.mcast_id), e.pkt_index, e.detail);
   }
-  std::printf("\nEvery reconfigured network re-derives its BFS tree, "
-              "up*/down* orientation, routing tables and reachability "
-              "strings from scratch — the Autonet model.\n");
+
+  std::printf("\nEvery reconfigured network re-derived its BFS tree, "
+              "up*/down* orientation, routing tables and reachability from "
+              "scratch and passed the full verification battery before "
+              "swapping into the live engines.\n");
   return 0;
 }

@@ -7,7 +7,7 @@ namespace irmc {
 McastDriver::McastDriver(Engine& engine, const System& sys,
                          const SimConfig& cfg, Tracer* tracer,
                          MetricsRegistry* metrics)
-    : engine_(engine), sys_(sys), cfg_(cfg), tracer_(tracer) {
+    : engine_(engine), sys_(&sys), cfg_(cfg), tracer_(tracer) {
   if (metrics) {
     m_.has = true;
     m_.launched = &metrics->GetCounter("mcast.launched");
@@ -30,6 +30,23 @@ McastDriver::McastDriver(Engine& engine, const System& sys,
         OnDeliver(n, pkt, head, tail);
       },
       tracer, metrics);
+  if (cfg_.resilience.enabled) {
+    if (metrics) {
+      m_.r_drops = &metrics->GetCounter("resilience.drops");
+      m_.r_retransmits = &metrics->GetCounter("resilience.retransmits");
+      m_.r_duplicates = &metrics->GetCounter("resilience.duplicates");
+      m_.r_acks = &metrics->GetCounter("resilience.acks");
+      m_.r_degraded =
+          &metrics->GetCounter("resilience.degraded_deliveries");
+    }
+    network_->SetDropHandler(
+        [this](const PacketPtr& pkt, Cycles now, SwitchId where) {
+          OnDrop(pkt, now, where);
+        });
+    resilience_ = std::make_unique<ResilienceManager>(
+        engine, *network_, sys, cfg_, tracer, metrics,
+        [this](const System& s) { sys_ = &s; });
+  }
 }
 
 std::int64_t McastDriver::Launch(McastPlan plan, Cycles when, DoneFn done,
@@ -50,6 +67,8 @@ std::int64_t McastDriver::Launch(McastPlan plan, Cycles when, DoneFn done,
   for (std::size_t w = 0; w < exec->plan.worms.size(); ++w)
     exec->worms_by_sender[exec->plan.worms[w].sender].push_back(
         static_cast<int>(w));
+  if (cfg_.resilience.enabled)
+    exec->acked.assign(static_cast<std::size_t>(sys_->num_nodes()), false);
   if (m_.has) {
     m_.launched->Add();
     m_.dests->Add(exec->remaining);
@@ -205,12 +224,12 @@ void McastDriver::SendTreeWorms(Exec& exec) {
   std::vector<Region> regions;
   if (exec.plan.tree_regions.empty()) {
     regions.push_back(
-        Region{NodeSet::FromVector(sys_.num_nodes(), exec.plan.dests),
-               cfg_.headers.TreeWormFlits(sys_.num_nodes())});
+        Region{NodeSet::FromVector(sys_->num_nodes(), exec.plan.dests),
+               cfg_.headers.TreeWormFlits(sys_->num_nodes())});
   } else {
     for (std::size_t r = 0; r < exec.plan.tree_regions.size(); ++r)
       regions.push_back(
-          Region{NodeSet::FromVector(sys_.num_nodes(),
+          Region{NodeSet::FromVector(sys_->num_nodes(),
                                      exec.plan.tree_regions[r]),
                  exec.plan.tree_region_header_flits[r]});
   }
@@ -269,16 +288,44 @@ void McastDriver::SendWormsOf(Exec& exec, NodeId sender, Cycles earliest) {
 void McastDriver::OnDeliver(NodeId n, const PacketPtr& pkt, Cycles head,
                             Cycles tail) {
   auto it = live_.find(pkt->mcast_id);
-  IRMC_ENSURE(it != live_.end());
+  if (it == live_.end()) {
+    // Only a retired resilience family leaves stragglers (a redundant
+    // repair still in flight when the last ack landed); the pristine
+    // contract — every delivery belongs to a live multicast — stands.
+    IRMC_ENSURE(cfg_.resilience.enabled);
+    return;
+  }
   HandlePacketAt(*it->second, n, pkt, head, tail);
+}
+
+McastDriver::Exec& McastDriver::AcctOf(Exec& exec) {
+  if (exec.parent < 0) return exec;
+  auto it = live_.find(exec.parent);
+  IRMC_ENSURE(it != live_.end());  // repairs retire with their parent
+  return *it->second;
 }
 
 void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
                                  Cycles head, Cycles tail) {
-  NodeState& st = exec.nstate[n];
+  // Delivery accounting rolls up to the original multicast; `exec` (a
+  // repair wave or the original itself) keeps the forwarding duties.
+  Exec& acct = AcctOf(exec);
+  NodeState& st = acct.nstate[n];
+  if (cfg_.resilience.enabled) {
+    // Receiver dedup: repair waves over-cover (a drop report's
+    // destination set is an over-estimate, and repairs re-send whole
+    // messages), so the NI swallows already-accepted packets.
+    if (st.got.empty())
+      st.got.assign(static_cast<std::size_t>(acct.shape.num_packets), false);
+    if (st.delivered || st.got[static_cast<std::size_t>(pkt->pkt_index)]) {
+      if (m_.has) m_.r_duplicates->Add();
+      return;
+    }
+    st.got[static_cast<std::size_t>(pkt->pkt_index)] = true;
+  }
   const bool first = (st.pkts == 0);
   ++st.pkts;
-  IRMC_ENSURE(st.pkts <= exec.shape.num_packets);
+  IRMC_ENSURE(st.pkts <= acct.shape.num_packets);
   NodeRuntime& nr = node(n);
   const HostParams& hp = cfg_.host;
 
@@ -320,42 +367,60 @@ void McastDriver::HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
     m_.io_dma_transfers->Add();
   }
 
-  if (st.pkts == exec.shape.num_packets) {
+  if (st.pkts == acct.shape.num_packets) {
     // Whole message in host memory: per-message host receive overhead.
     const Cycles delivered =
         nr.host_cpu.Reserve(st.last_dma, hp.o_host) + hp.o_host;
     if (m_.has) m_.host_cycles->Add(hp.o_host);
-    const std::int64_t id = exec.id;
-    engine_.ScheduleAt(delivered, [this, id, n, delivered]() {
-      HandleDelivered(id, n, delivered);
+    const std::int64_t acct_id = acct.id;
+    const std::int64_t wave_id = exec.id;
+    engine_.ScheduleAt(delivered, [this, acct_id, wave_id, n, delivered]() {
+      HandleDelivered(acct_id, wave_id, n, delivered);
     });
   }
 }
 
-void McastDriver::HandleDelivered(std::int64_t id, NodeId n, Cycles when) {
-  auto it = live_.find(id);
+void McastDriver::HandleDelivered(std::int64_t acct_id, std::int64_t wave_id,
+                                  NodeId n, Cycles when) {
+  auto it = live_.find(acct_id);
   IRMC_ENSURE(it != live_.end());
   Exec& exec = *it->second;
   NodeState& st = exec.nstate[n];
   IRMC_ENSURE(!st.delivered);
   st.delivered = true;
-  TraceHost(TraceKind::kHostDeliver, id, n, -1);
+  TraceHost(TraceKind::kHostDeliver, acct_id, n, -1);
   exec.result.deliveries.emplace_back(n, when);
   exec.result.completion = std::max(exec.result.completion, when);
   --exec.remaining;
   if (exec.delivered) exec.delivered(n, when);
-
-  // Forwarding duties after full receipt. Each host-level forwarding
-  // step after a delivery is one communication phase of the scheme.
-  if (exec.plan.scheme == SchemeKind::kUnicastBinomial) {
-    if (m_.has && !exec.plan.children[static_cast<std::size_t>(n)].empty())
-      m_.forward_phases->Add();
-    SendToChildren(exec, n, when);
+  if (cfg_.resilience.enabled) {
+    if (m_.has && resilience_ && resilience_->degraded())
+      m_.r_degraded->Add();
+    // Out-of-band delivery ack back to the root (modelled reliable).
+    engine_.ScheduleAt(when + cfg_.resilience.ack_delay,
+                       [this, acct_id, n]() { OnAck(acct_id, n); });
   }
-  if (exec.plan.scheme == SchemeKind::kPathWorm) {
-    if (m_.has && exec.worms_by_sender.count(n) > 0)
-      m_.forward_phases->Add();
-    SendWormsOf(exec, n, when);
+
+  // Forwarding duties after full receipt, per the plan of the wave whose
+  // packet completed the message (for a repair, its re-planned subtree).
+  // Each host-level forwarding step after a delivery is one
+  // communication phase of the scheme.
+  Exec* wave = &exec;
+  if (wave_id != acct_id) {
+    auto wit = live_.find(wave_id);
+    wave = wit != live_.end() ? wit->second.get() : nullptr;
+  }
+  if (wave != nullptr) {
+    if (wave->plan.scheme == SchemeKind::kUnicastBinomial) {
+      if (m_.has && !wave->plan.children[static_cast<std::size_t>(n)].empty())
+        m_.forward_phases->Add();
+      SendToChildren(*wave, n, when);
+    }
+    if (wave->plan.scheme == SchemeKind::kPathWorm) {
+      if (m_.has && wave->worms_by_sender.count(n) > 0)
+        m_.forward_phases->Add();
+      SendWormsOf(*wave, n, when);
+    }
   }
 
   if (exec.remaining == 0) {
@@ -365,8 +430,102 @@ void McastDriver::HandleDelivered(std::int64_t id, NodeId n, Cycles when) {
     }
     if (exec.done) exec.done(exec.result);
     // Defer destruction: we may still be inside this exec's call chain.
-    engine_.ScheduleAfter(0, [this, id]() { live_.erase(id); });
+    // In resilience mode the family instead retires when the last ack
+    // returns to the root (CleanupFamily).
+    if (!cfg_.resilience.enabled) {
+      engine_.ScheduleAfter(0, [this, acct_id]() { live_.erase(acct_id); });
+    }
   }
+}
+
+void McastDriver::OnDrop(const PacketPtr& pkt, Cycles now, SwitchId where) {
+  if (tracer_)
+    tracer_->Record(TraceEvent{now, TraceKind::kDrop, pkt->mcast_id,
+                               pkt->pkt_index, pkt->src, where});
+  if (m_.has) m_.r_drops->Add();
+  auto it = live_.find(pkt->mcast_id);
+  if (it == live_.end()) return;  // family already retired
+  Exec& acct = AcctOf(*it->second);
+  if (acct.repair_pending) return;  // a repair chain is already running
+  acct.repair_pending = true;
+  // Expedite the first repair: wait out fault detection and any pending
+  // reconfiguration (a repair planned on the broken tables would mostly
+  // drop again), then re-send. Later rounds come from the backoff timer.
+  Cycles at = now + cfg_.resilience.detection_delay;
+  if (resilience_) at = std::max(at, resilience_->SafeRepairTime(now));
+  const std::int64_t id = acct.id;
+  engine_.ScheduleAt(at, [this, id]() { RepairRound(id); });
+}
+
+void McastDriver::OnAck(std::int64_t id, NodeId n) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  Exec& exec = *it->second;
+  if (exec.acked[static_cast<std::size_t>(n)]) return;
+  exec.acked[static_cast<std::size_t>(n)] = true;
+  ++exec.acked_count;
+  if (m_.has) m_.r_acks->Add();
+  if (exec.acked_count == exec.result.num_dests) CleanupFamily(id);
+}
+
+void McastDriver::RepairRound(std::int64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  Exec& acct = *it->second;
+  // Unacked = possibly-lost. A destination that delivered but whose ack
+  // is still in flight gets harmlessly re-covered (its NI dedups).
+  std::vector<NodeId> missing;
+  for (NodeId n : acct.plan.dests)
+    if (!acct.acked[static_cast<std::size_t>(n)]) missing.push_back(n);
+  if (missing.empty()) return;  // chain ends; family retires on last ack
+  ++acct.attempts;
+  IRMC_ENSURE(acct.attempts <= cfg_.resilience.max_retransmits &&
+              "resilience: retransmit cap exceeded — faults outran recovery");
+  if (m_.has) m_.r_retransmits->Add();
+  LaunchRepairWave(acct, std::move(missing));
+  // Next round after an exponentially backed-off timeout (no-op once
+  // everything acks).
+  const Cycles wait = cfg_.resilience.retransmit_timeout
+                      << std::min(acct.attempts - 1, 20);
+  engine_.ScheduleAfter(wait, [this, id]() { RepairRound(id); });
+}
+
+void McastDriver::LaunchRepairWave(Exec& acct, std::vector<NodeId> missing) {
+  // Scheme-aware repair: re-plan on the *current* System (post-swap
+  // tables), so a k-binomial repair is a fresh subtree over the missing
+  // set and a worm repair is a re-planned, re-injected worm.
+  const auto scheme = MakeScheme(acct.plan.scheme, cfg_.host);
+  McastPlan plan =
+      scheme->Plan(*sys_, acct.plan.root, missing, acct.shape, cfg_.headers);
+  plan.shape = acct.shape;
+  const std::int64_t id = next_id_++;
+  auto exec = std::make_unique<Exec>();
+  exec->id = id;
+  exec->parent = acct.id;
+  exec->plan = std::move(plan);
+  exec->shape = acct.shape;
+  exec->start = engine_.Now();
+  exec->remaining = static_cast<int>(missing.size());
+  exec->result.id = id;
+  exec->result.start = exec->start;
+  exec->result.num_dests = exec->remaining;
+  for (std::size_t w = 0; w < exec->plan.worms.size(); ++w)
+    exec->worms_by_sender[exec->plan.worms[w].sender].push_back(
+        static_cast<int>(w));
+  acct.repairs.push_back(id);
+  Exec* raw = exec.get();
+  live_.emplace(id, std::move(exec));
+  StartSource(*raw);
+}
+
+void McastDriver::CleanupFamily(std::int64_t id) {
+  // Defer: the last ack may still be inside this family's call chain.
+  engine_.ScheduleAfter(0, [this, id]() {
+    auto it = live_.find(id);
+    if (it == live_.end()) return;
+    for (std::int64_t r : it->second->repairs) live_.erase(r);
+    live_.erase(it);
+  });
 }
 
 }  // namespace irmc

@@ -30,6 +30,7 @@
 #include "mcast/scheme.hpp"
 #include "metrics/metrics.hpp"
 #include "network/network_model.hpp"
+#include "resilience/manager.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "topology/system.hpp"
@@ -85,11 +86,18 @@ class McastDriver {
   }
   int live_multicasts() const { return static_cast<int>(live_.size()); }
 
+  /// Non-null only when cfg.resilience.enabled (docs/resilience.md).
+  ResilienceManager* resilience() { return resilience_.get(); }
+
  private:
   struct NodeState {
     int pkts = 0;
     Cycles last_dma = 0;
     bool delivered = false;
+    /// Receiver dedup (resilience mode only): which pkt_index values this
+    /// node has accepted; repeats — repair overlap — are swallowed at
+    /// the NI before any resource cost.
+    std::vector<bool> got;
   };
   struct Exec {
     std::int64_t id = -1;
@@ -102,13 +110,42 @@ class McastDriver {
     std::unordered_map<NodeId, NodeState> nstate;
     std::unordered_map<NodeId, std::vector<int>> worms_by_sender;
     MulticastResult result;
+    // --- reliable delivery (resilience mode only) ---
+    /// Repair waves set this to the original multicast they credit;
+    /// delivery/dedup accounting lives in that parent Exec.
+    std::int64_t parent = -1;
+    std::vector<std::int64_t> repairs;  ///< repair-wave ids (parent only)
+    std::vector<bool> acked;  ///< per-node ack received at the root
+    int acked_count = 0;
+    int attempts = 0;          ///< repair rounds launched so far
+    bool repair_pending = false;  ///< a repair timer chain is running
   };
 
   void StartSource(Exec& exec);
   void OnDeliver(NodeId n, const PacketPtr& pkt, Cycles head, Cycles tail);
   void HandlePacketAt(Exec& exec, NodeId n, const PacketPtr& pkt,
                       Cycles head, Cycles tail);
-  void HandleDelivered(std::int64_t id, NodeId n, Cycles when);
+  /// `wave_id` names the Exec whose plan carries the forwarding duties
+  /// (a repair wave or `acct_id` itself); accounting is on `acct_id`.
+  void HandleDelivered(std::int64_t acct_id, std::int64_t wave_id, NodeId n,
+                       Cycles when);
+
+  // --- NI reliable-delivery layer (resilience mode only) ---
+  /// The Exec delivery accounting rolls up to (the wave's original).
+  Exec& AcctOf(Exec& exec);
+  /// Engine drop report: trace + count, then expedite the first repair.
+  void OnDrop(const PacketPtr& pkt, Cycles now, SwitchId where);
+  /// Out-of-band delivery ack arriving back at the root.
+  void OnAck(std::int64_t id, NodeId n);
+  /// One timeout round: re-plan the unacked remainder on the current
+  /// System and re-send it; arms the next round with exponential
+  /// backoff. No-op once everything is acked.
+  void RepairRound(std::int64_t id);
+  /// Plans (scheme-aware, on the *current* System) and launches one
+  /// repair wave to `missing` as a child Exec crediting `acct`.
+  void LaunchRepairWave(Exec& acct, std::vector<NodeId> missing);
+  /// Retires a fully-acked multicast and its repair waves.
+  void CleanupFamily(std::int64_t id);
 
   /// Conventional full-message unicast send u -> c (o_host, DMA per
   /// packet, o_ni, inject), starting no earlier than `earliest`.
@@ -149,15 +186,22 @@ class McastDriver {
     Counter* ni_forward_copies = nullptr;///< ni.forward_copies
     Counter* io_dma_cycles = nullptr;    ///< io.dma_cycles
     Counter* io_dma_transfers = nullptr; ///< io.dma_transfers
+    // Resilience family (resolved only when cfg.resilience.enabled).
+    Counter* r_drops = nullptr;       ///< resilience.drops
+    Counter* r_retransmits = nullptr; ///< resilience.retransmits
+    Counter* r_duplicates = nullptr;  ///< resilience.duplicates
+    Counter* r_acks = nullptr;        ///< resilience.acks
+    Counter* r_degraded = nullptr;    ///< resilience.degraded_deliveries
   };
 
   Engine& engine_;
-  const System& sys_;
+  const System* sys_;  ///< re-pointed on Autonet reconfiguration
   SimConfig cfg_;
   Tracer* tracer_;
   DriverMetrics m_;
   std::vector<NodeRuntime> nodes_;
   std::unique_ptr<NetworkModel> network_;
+  std::unique_ptr<ResilienceManager> resilience_;
   std::unordered_map<std::int64_t, std::unique_ptr<Exec>> live_;
   std::int64_t next_id_ = 0;
 };

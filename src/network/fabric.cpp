@@ -9,7 +9,7 @@ namespace irmc {
 Fabric::Fabric(Engine& engine, const System& sys, const NetParams& params,
                DeliverFn deliver, Tracer* tracer, MetricsRegistry* metrics)
     : engine_(engine),
-      sys_(sys),
+      sys_(&sys),
       params_(params),
       deliver_(std::move(deliver)),
       tracer_(tracer),
@@ -78,9 +78,7 @@ void Fabric::InjectFromNi(NodeId n, PacketPtr pkt, Cycles ready) {
     m_header_flits_->Add(pkt->header_flits);
   }
   const int cid = InjChannelId(n);
-  channels_[static_cast<std::size_t>(cid)].queue.push_back(
-      Tx{std::move(pkt), ready, nullptr});
-  Pump(cid);
+  EnqueueTx(cid, Tx{std::move(pkt), ready, nullptr});
 }
 
 int Fabric::InjectionBacklog(NodeId n) const {
@@ -100,9 +98,9 @@ const std::vector<HopRecord>* Fabric::HopsOf(const Packet& pkt) {
 std::vector<LinkLoadReport> Fabric::LinkReports(Cycles now) const {
   std::vector<LinkLoadReport> out;
   const double elapsed = now > 0 ? static_cast<double>(now) : 1.0;
-  for (SwitchId s = 0; s < sys_.num_switches(); ++s) {
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
     for (PortId p = 0; p < ports_; ++p) {
-      const Port& pt = sys_.graph.port(s, p);
+      const Port& pt = sys_->graph.port(s, p);
       if (pt.kind == PortKind::kFree) continue;
       const Channel& c =
           channels_[static_cast<std::size_t>(OutChannelId(s, p))];
@@ -117,7 +115,7 @@ std::vector<LinkLoadReport> Fabric::LinkReports(Cycles now) const {
       out.push_back(r);
     }
   }
-  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+  for (NodeId n = 0; n < sys_->num_nodes(); ++n) {
     const Channel& c = channels_[static_cast<std::size_t>(InjChannelId(n))];
     LinkLoadReport r;
     r.node = n;
@@ -149,6 +147,56 @@ void Fabric::CollectMetrics(Cycles now) {
       .Set(static_cast<double>(max_wait));
 }
 
+void Fabric::EnqueueTx(int channel_id, Tx tx) {
+  Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  if (c.dead_since != kNever) {
+    // The link died before this branch could even queue (a pre-swap
+    // route still naming the dead port).
+    ReportDrop(tx.pkt, static_cast<SwitchId>(channel_id / ports_));
+    ReleaseSrcBuffer(tx.src_buffer);
+    return;
+  }
+  c.queue.push_back(std::move(tx));
+  Pump(channel_id);
+}
+
+void Fabric::ReleaseSrcBuffer(const BufferedPtr& buf) {
+  if (buf && --buf->pending_branches == 0 && buf->slot_pool >= 0)
+    input_slots_[static_cast<std::size_t>(buf->slot_pool)].Release(engine_);
+}
+
+void Fabric::ReportDrop(const PacketPtr& pkt, SwitchId where) {
+  IRMC_ENSURE(drop_ != nullptr &&
+              "fault truncated a packet but no drop handler is installed");
+  drop_(pkt, engine_.Now(), where);
+}
+
+void Fabric::FailLink(SwitchId sw, PortId port) {
+  const Port& pt = sys_->graph.port(sw, port);
+  IRMC_EXPECT(pt.kind == PortKind::kSwitch);
+  const Cycles now = engine_.Now();
+  const int fwd = OutChannelId(sw, port);
+  const int rev = OutChannelId(pt.peer_switch, pt.peer_port);
+  for (int cid : {fwd, rev}) {
+    Channel& c = channels_[static_cast<std::size_t>(cid)];
+    if (c.dead_since != kNever) continue;
+    c.dead_since = now;
+    std::deque<Tx> doomed;
+    doomed.swap(c.queue);
+    for (Tx& t : doomed) {
+      ReportDrop(t.pkt, static_cast<SwitchId>(cid / ports_));
+      ReleaseSrcBuffer(t.src_buffer);
+    }
+  }
+}
+
+void Fabric::SwapSystem(const System& sys) {
+  IRMC_EXPECT(sys.num_switches() == sys_->num_switches());
+  IRMC_EXPECT(sys.graph.ports_per_switch() == ports_);
+  IRMC_EXPECT(sys.num_nodes() == sys_->num_nodes());
+  sys_ = &sys;
+}
+
 void Fabric::Pump(int channel_id) {
   // Defer the grant decision to the earliest cycle a queued transmission
   // becomes ready. Same-cycle contenders are all queued by then (their
@@ -164,7 +212,7 @@ void Fabric::Pump(int channel_id) {
   // except for same-cycle ties, so aiming at the minimum is the same
   // thing minus the head-of-line wait.
   Cycles target = c.queue.front().ready;
-  if (channel_id < sys_.num_switches() * ports_)
+  if (channel_id < sys_->num_switches() * ports_)
     for (const Tx& t : c.queue) target = std::min(target, t.ready);
   target = std::max(engine_.Now(), target);
   engine_.ScheduleAt(target, [this, channel_id]() { Pick(channel_id); });
@@ -172,10 +220,11 @@ void Fabric::Pump(int channel_id) {
 
 void Fabric::Pick(int channel_id) {
   Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  if (c.dead_since != kNever) return;  // FailLink drained the queue
   if (c.pumping || c.queue.empty()) return;  // a rival pick already won
   const Cycles now = engine_.Now();
   std::size_t best = c.queue.size();
-  if (channel_id >= sys_.num_switches() * ports_) {
+  if (channel_id >= sys_->num_switches() * ports_) {
     if (c.queue.front().ready <= now) best = 0;  // injection: FIFO
   } else {
     // Grant the transmission that has been ready longest; break
@@ -210,6 +259,17 @@ void Fabric::Pick(int channel_id) {
 
 void Fabric::StartTx(int channel_id, Tx tx) {
   Channel& c = channels_[static_cast<std::size_t>(channel_id)];
+  if (c.dead_since != kNever) {
+    // The link died while this transmission waited for a downstream
+    // slot (Pick's Acquire); give the just-granted slot back.
+    c.pumping = false;
+    if (c.downstream_slot_pool >= 0)
+      input_slots_[static_cast<std::size_t>(c.downstream_slot_pool)].Release(
+          engine_);
+    ReportDrop(tx.pkt, static_cast<SwitchId>(channel_id / ports_));
+    ReleaseSrcBuffer(tx.src_buffer);
+    return;
+  }
   const int len = tx.pkt->WireFlits();
   const Cycles earliest = std::max(engine_.Now(), tx.ready);
   const Cycles start = c.line.Reserve(earliest, len);
@@ -240,8 +300,7 @@ void Fabric::StartTx(int channel_id, Tx tx) {
   engine_.ScheduleAt(tail_leave, [this, channel_id, buf = tx.src_buffer]() {
     Channel& ch = channels_[static_cast<std::size_t>(channel_id)];
     ch.pumping = false;
-    if (buf && --buf->pending_branches == 0 && buf->slot_pool >= 0)
-      input_slots_[static_cast<std::size_t>(buf->slot_pool)].Release(engine_);
+    ReleaseSrcBuffer(buf);
     Pump(channel_id);
   });
 
@@ -254,11 +313,21 @@ void Fabric::StartTx(int channel_id, Tx tx) {
           deliver_(host, pkt, head_arrive, tail_arrive);
         });
   } else {
-    engine_.ScheduleAt(head_arrive, [this, sw = c.dst_switch,
+    engine_.ScheduleAt(head_arrive, [this, channel_id, sw = c.dst_switch,
                                      in_port = c.dst_port, pkt = tx.pkt,
-                                     head_arrive, tail_arrive]() {
+                                     head_arrive]() {
+      Channel& ch = channels_[static_cast<std::size_t>(channel_id)];
+      if (ch.dead_since != kNever && ch.dead_since <= head_arrive) {
+        // The link died under the worm before its head crossed:
+        // truncated. The downstream input slot acquired at Pick goes
+        // back; the source side frees at tail_leave as usual.
+        if (ch.downstream_slot_pool >= 0)
+          input_slots_[static_cast<std::size_t>(ch.downstream_slot_pool)]
+              .Release(engine_);
+        ReportDrop(pkt, static_cast<SwitchId>(channel_id / ports_));
+        return;
+      }
       HeadArrive(sw, in_port, pkt, head_arrive);
-      (void)tail_arrive;
     });
   }
 }
@@ -280,20 +349,32 @@ void Fabric::HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt,
 void Fabric::Route(SwitchId s, PacketPtr pkt, Cycles tail_time,
                    const BufferedPtr& buf) {
   std::vector<RouteBranch> branches;
-  ComputeRouteBranches(
-      sys_, s, pkt, params_.adaptive,
-      [this](SwitchId sw, PortId p) {
-        return channels_[static_cast<std::size_t>(OutChannelId(sw, p))].Load();
-      },
-      branches);
-  if (branches.empty()) {
-    // Fully consumed here (possible only for degenerate plans); free the
-    // buffer once the tail has arrived.
+  const PortLoadFn load = [this](SwitchId sw, PortId p) {
+    return channels_[static_cast<std::size_t>(OutChannelId(sw, p))].Load();
+  };
+  const auto free_buffer_at_tail = [this, tail_time, &buf]() {
     const Cycles when = std::max(engine_.Now(), tail_time);
     engine_.ScheduleAt(when, [this, pool = buf->slot_pool]() {
       if (pool >= 0)
         input_slots_[static_cast<std::size_t>(pool)].Release(engine_);
     });
+  };
+  if (drop_ != nullptr) {
+    if (!TryComputeRouteBranches(*sys_, s, pkt, params_.adaptive, load,
+                                 branches)) {
+      // Stale header under swapped tables: consume the worm here and
+      // let the retransmit layer repair the loss.
+      ReportDrop(pkt, s);
+      free_buffer_at_tail();
+      return;
+    }
+  } else {
+    ComputeRouteBranches(*sys_, s, pkt, params_.adaptive, load, branches);
+  }
+  if (branches.empty()) {
+    // Fully consumed here (possible only for degenerate plans); free the
+    // buffer once the tail has arrived.
+    free_buffer_at_tail();
     return;
   }
   buf->pending_branches = static_cast<int>(branches.size());
@@ -308,9 +389,7 @@ void Fabric::Route(SwitchId s, PacketPtr pkt, Cycles tail_time,
   for (RouteBranch& b : branches) {
     Trace(TraceKind::kBranch, *b.pkt, s, static_cast<std::int32_t>(b.port));
     const int cid = OutChannelId(s, b.port);
-    channels_[static_cast<std::size_t>(cid)].queue.push_back(
-        Tx{std::move(b.pkt), ready, buf, in_port});
-    Pump(cid);
+    EnqueueTx(cid, Tx{std::move(b.pkt), ready, buf, in_port});
   }
 }
 

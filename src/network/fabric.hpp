@@ -57,6 +57,18 @@ class Fabric final : public NetworkModel {
   /// No-op without a registry. Call once when the trial's run ends.
   void CollectMetrics(Cycles now) override;
 
+  /// Kills both directions of the switch-to-switch link at (sw, port):
+  /// queued transmissions drop immediately; the active transmission is
+  /// truncated unless its head already cleared the link (VCT packet
+  /// atomicity — a packet whose head arrived is committed downstream).
+  /// Requires a drop handler when anything can still reach the link.
+  void FailLink(SwitchId sw, PortId port) override;
+
+  /// Swaps the routing tables to `sys` (same switches x ports shape).
+  /// Channel wiring is structural and unchanged — the dead link's
+  /// channels stay dead; packets routed from now on use `sys`'s tables.
+  void SwapSystem(const System& sys) override;
+
  private:
   struct Buffered {
     int slot_pool = -1;  ///< index into input_slots_, -1 for none
@@ -85,6 +97,7 @@ class Fabric final : public NetworkModel {
     NodeId host = kInvalidNode;
     SwitchId dst_switch = kInvalidSwitch;
     PortId dst_port = kInvalidPort;
+    Cycles dead_since = kNever;  ///< FailLink time; kNever = alive
     std::int64_t flits = 0;
     int Load() const {
       return static_cast<int>(queue.size()) + (pumping ? 1 : 0);
@@ -100,7 +113,7 @@ class Fabric final : public NetworkModel {
     return static_cast<int>(PortIdx(s, p));
   }
   int InjChannelId(NodeId n) const {
-    return static_cast<int>(static_cast<std::size_t>(sys_.num_switches()) *
+    return static_cast<int>(static_cast<std::size_t>(sys_->num_switches()) *
                                 static_cast<std::size_t>(ports_) +
                             static_cast<std::size_t>(n));
   }
@@ -112,6 +125,15 @@ class Fabric final : public NetworkModel {
   void HeadArrive(SwitchId s, PortId in_port, PacketPtr pkt, Cycles head_time);
   void Route(SwitchId s, PacketPtr pkt, Cycles decision_time,
              const BufferedPtr& buf);
+
+  /// Queue a branch/injection on a channel, or drop it on the spot when
+  /// the channel is dead.
+  void EnqueueTx(int channel_id, Tx tx);
+  /// Drains a drained/dropped branch's claim on its source buffer.
+  void ReleaseSrcBuffer(const BufferedPtr& buf);
+  /// Hands a truncated packet to the drop handler (which must exist —
+  /// faults without a retransmit layer would silently lose payload).
+  void ReportDrop(const PacketPtr& pkt, SwitchId where);
 
   void Trace(TraceKind kind, const Packet& pkt, std::int32_t actor,
              std::int32_t detail) {
@@ -133,7 +155,7 @@ class Fabric final : public NetworkModel {
   /// (node, -1).
   void ChannelActor(int channel_id, std::int32_t* actor,
                     std::int32_t* detail) const {
-    const int n_out = sys_.num_switches() * ports_;
+    const int n_out = sys_->num_switches() * ports_;
     if (channel_id < n_out) {
       *actor = channel_id / ports_;
       *detail = channel_id % ports_;
@@ -144,7 +166,7 @@ class Fabric final : public NetworkModel {
   }
 
   Engine& engine_;
-  const System& sys_;
+  const System* sys_;  ///< swapped by SwapSystem (Autonet reconfig)
   NetParams params_;
   DeliverFn deliver_;
   Tracer* tracer_;

@@ -13,7 +13,7 @@ FlitEngine::FlitEngine(Engine& engine, const System& sys,
                        const NetParams& params, DeliverFn deliver,
                        Tracer* tracer, MetricsRegistry* metrics)
     : engine_(engine),
-      sys_(sys),
+      sys_(&sys),
       params_(params),
       deliver_(std::move(deliver)),
       tracer_(tracer),
@@ -88,9 +88,9 @@ std::int64_t FlitEngine::TotalBacklog() const {
 std::vector<LinkLoadReport> FlitEngine::LinkReports(Cycles now) const {
   std::vector<LinkLoadReport> out;
   const double elapsed = now > 0 ? static_cast<double>(now) : 1.0;
-  for (SwitchId s = 0; s < sys_.num_switches(); ++s) {
+  for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
     for (PortId p = 0; p < ports_; ++p) {
-      const Port& pt = sys_.graph.port(s, p);
+      const Port& pt = sys_->graph.port(s, p);
       if (pt.kind == PortKind::kFree) continue;
       const Channel& c = channels_[PortIdx(s, p)];
       LinkLoadReport r;
@@ -106,7 +106,7 @@ std::vector<LinkLoadReport> FlitEngine::LinkReports(Cycles now) const {
       out.push_back(r);
     }
   }
-  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+  for (NodeId n = 0; n < sys_->num_nodes(); ++n) {
     const Channel& c = channels_[InjChannel(n)];
     LinkLoadReport r;
     r.node = n;
@@ -135,6 +135,112 @@ void FlitEngine::CollectMetrics(Cycles now) {
     best = std::max(best, r.utilization);
   }
   hottest.Set(best);
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling: a dead channel never grants, never moves flits, and
+// anything committed to it when it died is truncated. Truncation
+// cascades downstream — a worm whose feeder branch was cut will never
+// finish arriving, so its own branches (and their downstream worms) are
+// killed too. Upstream the fabric keeps streaming: a worm that lost
+// every branch enters discard mode so its feeder can drain and its
+// input port frees at the tail, exactly as if it had been consumed.
+// ---------------------------------------------------------------------------
+
+void FlitEngine::ReportDrop(const PacketPtr& pkt, SwitchId where) {
+  IRMC_ENSURE(drop_ != nullptr &&
+              "fault truncated a worm but no drop handler is installed");
+  drop_(pkt, engine_.Now(), where);
+}
+
+void FlitEngine::ReleaseWormPort(Worm& w) {
+  if (w.port_index < 0 || w.port_released) return;
+  w.port_released = true;
+  pending_port_release_.push_back(w.port_index);
+}
+
+void FlitEngine::KillBranch(int bid) {
+  BranchState& b = branches_[static_cast<std::size_t>(bid)];
+  if (b.done) return;
+  CloseStreak(b);  // emits the open stall interval; keeps the
+                   // trace-vs-counter accounting identity
+  b.done = true;
+  Channel& c = channels_[static_cast<std::size_t>(b.channel)];
+  if (c.active_branch == bid) {
+    c.active_branch = -1;
+  } else {
+    for (auto it = c.waiting.begin(); it != c.waiting.end(); ++it) {
+      if (*it == bid) {
+        c.waiting.erase(it);
+        break;
+      }
+    }
+  }
+  // Flits on the wire evaporate.
+  std::size_t kept = 0;
+  for (InFlight& entry : in_flight_)
+    if (entry.branch != bid) in_flight_[kept++] = entry;
+  in_flight_.resize(kept);
+  // The downstream copy will never finish arriving.
+  if (b.dst_worm != -1) KillWorm(b.dst_worm);
+  Worm& src = worms_[static_cast<std::size_t>(b.src_worm)];
+  if (--src.live_branches == 0 && src.port_index >= 0) {
+    if (src.dead || src.received >= src.len) {
+      ReleaseWormPort(src);
+    } else {
+      // The upstream feeder is alive and still streaming into this
+      // buffer: swallow what arrives so it can drain.
+      src.discarding = true;
+      src.freed = src.received;
+    }
+  }
+}
+
+void FlitEngine::KillWorm(int wi) {
+  Worm& w = worms_[static_cast<std::size_t>(wi)];
+  if (w.dead) return;
+  w.dead = true;
+  if (w.routed) {
+    // Copy: KillBranch recursion must not iterate a moving vector.
+    const std::vector<int> branch_ids = w.branch_ids;
+    for (int bid : branch_ids) KillBranch(bid);
+  }
+  // Either unrouted (still in route_queue_, skipped when popped) or all
+  // branches now dead: no one will ever consume from this buffer again,
+  // and its feeder was cut, so nothing more arrives either.
+  ReleaseWormPort(worms_[static_cast<std::size_t>(wi)]);
+}
+
+void FlitEngine::FailLink(SwitchId sw, PortId port) {
+  const Port& pt = sys_->graph.port(sw, port);
+  IRMC_EXPECT(pt.kind == PortKind::kSwitch);
+  const Cycles now = engine_.Now();
+  const std::size_t fwd = PortIdx(sw, port);
+  const std::size_t rev = PortIdx(pt.peer_switch, pt.peer_port);
+  for (std::size_t ci : {fwd, rev}) {
+    Channel& c = channels_[ci];
+    if (c.dead_since != kNever) continue;
+    c.dead_since = now;
+    // Every branch committed to the link is cut; each reports its own
+    // packet (whose destination set covers its whole subtree — cascade
+    // kills underneath it are not re-reported).
+    std::vector<int> doomed(c.waiting.begin(), c.waiting.end());
+    if (c.active_branch != -1) doomed.push_back(c.active_branch);
+    for (int bid : doomed) {
+      ReportDrop(branches_[static_cast<std::size_t>(bid)].out_pkt,
+                 static_cast<SwitchId>(ci / static_cast<std::size_t>(ports_)));
+      KillBranch(bid);
+    }
+  }
+  // Settle pending port releases / discard state on the next cycle.
+  ScheduleTick(now + 1);
+}
+
+void FlitEngine::SwapSystem(const System& sys) {
+  IRMC_EXPECT(sys.num_switches() == sys_->num_switches());
+  IRMC_EXPECT(sys.graph.ports_per_switch() == ports_);
+  IRMC_EXPECT(sys.num_nodes() == sys_->num_nodes());
+  sys_ = &sys;
 }
 
 // ---------------------------------------------------------------------------
@@ -227,6 +333,12 @@ void FlitEngine::LandFlits(Cycles now) {
       }
       Worm& w = worms_[static_cast<std::size_t>(b.dst_worm)];
       ++w.received;
+      if (w.discarding) {
+        // Every branch of this worm was fault-killed; swallow the flit
+        // so the feeder drains, and free the port once the tail lands.
+        w.freed = w.received;
+        if (w.received >= w.len) ReleaseWormPort(w);
+      }
       max_occupancy_ = std::max(
           max_occupancy_, static_cast<std::int64_t>(w.received - w.freed));
     }
@@ -235,7 +347,7 @@ void FlitEngine::LandFlits(Cycles now) {
 }
 
 void FlitEngine::PumpInjections(Cycles now) {
-  for (NodeId n = 0; n < sys_.num_nodes(); ++n) {
+  for (NodeId n = 0; n < sys_->num_nodes(); ++n) {
     auto& q = inject_queues_[static_cast<std::size_t>(n)];
     if (q.empty()) continue;
     Channel& c = channels_[InjChannel(n)];
@@ -272,15 +384,48 @@ void FlitEngine::RouteWorms(Cycles now) {
     const int wi = route_queue_.front().first;
     route_queue_.pop_front();
     Worm& w = worms_[static_cast<std::size_t>(wi)];
+    if (w.dead) continue;  // cascade-killed while waiting for its turn
     IRMC_ENSURE(!w.routed && w.received >= 1);
     w.routed = true;
     const SwitchId sw = SwitchOfPort(w.port_index);
+    const PortLoadFn load = [this](SwitchId s, PortId p) {
+      return channels_[PortIdx(s, p)].Load();
+    };
     std::vector<RouteBranch> decisions;
-    ComputeRouteBranches(
-        sys_, sw, w.pkt, params_.adaptive,
-        [this](SwitchId s, PortId p) { return channels_[PortIdx(s, p)].Load(); },
-        decisions);
+    if (drop_ != nullptr) {
+      if (!TryComputeRouteBranches(*sys_, sw, w.pkt, params_.adaptive, load,
+                                   decisions)) {
+        // Stale header under swapped tables: consume the worm here and
+        // let the retransmit layer repair the loss.
+        ReportDrop(w.pkt, sw);
+        w.discarding = true;
+        w.freed = w.received;
+        if (w.received >= w.len) ReleaseWormPort(w);
+        continue;
+      }
+    } else {
+      ComputeRouteBranches(*sys_, sw, w.pkt, params_.adaptive, load,
+                           decisions);
+    }
     IRMC_ENSURE(!decisions.empty());
+    // Branches aimed at a link that died after the header committed to
+    // it are dropped on the spot.
+    std::size_t live = 0;
+    for (RouteBranch& d : decisions) {
+      Channel& dc = channels_[PortIdx(sw, d.port)];
+      if (dc.dead_since != kNever) {
+        ReportDrop(d.pkt, sw);
+        continue;
+      }
+      decisions[live++] = std::move(d);
+    }
+    decisions.resize(live);
+    if (decisions.empty()) {
+      w.discarding = true;
+      w.freed = w.received;
+      if (w.received >= w.len) ReleaseWormPort(w);
+      continue;
+    }
     if (m_fanout_) {
       m_fanout_->Add(static_cast<std::int64_t>(decisions.size()));
       m_replications_->Add(static_cast<std::int64_t>(decisions.size()) - 1);
@@ -310,6 +455,7 @@ void FlitEngine::RouteWorms(Cycles now) {
 void FlitEngine::MoveFlits(Cycles now) {
   for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
     Channel& c = channels_[ci];
+    if (c.dead_since != kNever) continue;  // FailLink emptied it
     if (c.active_branch == -1 && !c.waiting.empty()) {
       // Grant the branch that has been ready longest; break same-cycle
       // ties by input port — the same engine-independent rule as the VCT
@@ -385,7 +531,7 @@ void FlitEngine::MoveFlits(Cycles now) {
         // All branches drained: free the input port at the *start of the
         // next cycle* (the tail flit leaves the buffer this cycle),
         // matching the VCT engine's slot-release timing.
-        pending_port_release_.push_back(src.port_index);
+        ReleaseWormPort(src);
       }
     }
     // Freed-flit accounting (buffer occupancy): freed = min consumed
@@ -429,7 +575,7 @@ void FlitEngine::DeadlockTrip(Cycles now, int trip_branch) {
                 static_cast<long long>(params_.deadlock_horizon),
                 static_cast<long long>(now));
   msg += buf;
-  const int n_out = sys_.num_switches() * ports_;
+  const int n_out = sys_->num_switches() * ports_;
   for (const BranchState& b : branches_) {
     if (b.done) continue;
     // A branch can be pending without an open stall streak when it is

@@ -103,6 +103,18 @@ class FlitEngine final : public NetworkModel {
   /// will not step again).
   bool deadlock_tripped() const { return frozen_; }
 
+  /// Kills both directions of the switch-to-switch link at (sw, port):
+  /// branches waiting for or streaming through it are truncated (flits
+  /// on the wire evaporate), and every incomplete downstream worm the
+  /// truncated branches were feeding is cascade-killed. The packet of
+  /// each branch cut at the link is reported through the drop handler
+  /// (cascade kills are covered by that report's destination set).
+  void FailLink(SwitchId sw, PortId port) override;
+
+  /// Swaps the routing tables to `sys` (same switches x ports shape);
+  /// worms routed from now on use the new tables.
+  void SwapSystem(const System& sys) override;
+
  private:
   /// A worm copy resident in (or streaming through) an input buffer;
   /// injection sources are pseudo-worms with every flit available.
@@ -116,6 +128,13 @@ class FlitEngine final : public NetworkModel {
     int live_branches = 0;
     int port_index = -1;  ///< owning input port; -1 for injection sources
     std::vector<int> branch_ids;
+    // --- fault state ---
+    bool dead = false;        ///< cascade-killed; skipped if still queued
+                              ///< for routing
+    bool discarding = false;  ///< all branches gone but the upstream
+                              ///< feeder still streams: swallow arrivals
+                              ///< so it can drain, free the port at tail
+    bool port_released = false;  ///< idempotence guard for the release
   };
 
   /// One output stream of a routed worm: drains the source buffer
@@ -150,6 +169,7 @@ class FlitEngine final : public NetworkModel {
     bool to_host = false;
     int active_branch = -1;
     std::deque<int> waiting;
+    Cycles dead_since = kNever;  ///< FailLink time; kNever = alive
     std::int64_t flits = 0;  ///< one busy cycle per flit moved
     int Load() const {
       return static_cast<int>(waiting.size()) + (active_branch != -1 ? 1 : 0);
@@ -174,7 +194,7 @@ class FlitEngine final : public NetworkModel {
            static_cast<std::size_t>(p);
   }
   std::size_t InjChannel(NodeId n) const {
-    return static_cast<std::size_t>(sys_.num_switches()) *
+    return static_cast<std::size_t>(sys_->num_switches()) *
                static_cast<std::size_t>(ports_) +
            static_cast<std::size_t>(n);
   }
@@ -191,7 +211,7 @@ class FlitEngine final : public NetworkModel {
   }
   void ChannelActor(int channel_id, std::int32_t* actor,
                     std::int32_t* detail) const {
-    const int n_out = sys_.num_switches() * ports_;
+    const int n_out = sys_->num_switches() * ports_;
     if (channel_id < n_out) {
       *actor = channel_id / ports_;
       *detail = channel_id % ports_;
@@ -215,6 +235,18 @@ class FlitEngine final : public NetworkModel {
 
   void DeliverBranch(BranchState& b, Cycles tail_arrive);
   void CloseStreak(BranchState& b);
+
+  // --- fault handling ---
+  /// Truncates a branch: closes its stall streak, detaches it from its
+  /// channel, evaporates its flits on the wire, cascade-kills the
+  /// incomplete downstream worm it fed, and settles its source worm's
+  /// buffer/port accounting.
+  void KillBranch(int bid);
+  /// Cascade-kills a worm whose feeder was truncated (no more flits
+  /// will ever arrive for it): kills its branches, frees its port.
+  void KillWorm(int wi);
+  void ReleaseWormPort(Worm& w);
+  void ReportDrop(const PacketPtr& pkt, SwitchId where);
   /// Aborts (default) or invokes the deadlock handler and freezes.
   void DeadlockTrip(Cycles now, int trip_branch);
 
@@ -226,7 +258,7 @@ class FlitEngine final : public NetworkModel {
   }
 
   Engine& engine_;
-  const System& sys_;
+  const System* sys_;  ///< swapped by SwapSystem (Autonet reconfig)
   NetParams params_;
   DeliverFn deliver_;
   Tracer* tracer_;

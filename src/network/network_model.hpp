@@ -85,6 +85,19 @@ class NetworkModel {
   using DeliverFn =
       std::function<void(NodeId, const PacketPtr&, Cycles, Cycles)>;
 
+  /// drop(packet, time, sw) fires when a fault truncates a packet the
+  /// engine can no longer deliver: its worm crossed a link that went
+  /// down, it was queued behind a dead channel, or (post-reconfig) its
+  /// header no longer routes under the swapped-in tables. `sw` is the
+  /// switch where it died (kInvalidSwitch when it never left its
+  /// injection queue). The packet's destination set is an over-estimate
+  /// of what was lost — some branches of a multidestination worm may
+  /// already have delivered — so the consumer (the NI retransmit layer)
+  /// must dedup. Without a handler installed the engine treats an
+  /// unroutable packet as a contract violation and aborts, preserving
+  /// the pristine engines' behavior.
+  using DropFn = std::function<void(const PacketPtr&, Cycles, SwitchId)>;
+
   virtual ~NetworkModel() = default;
 
   NetworkModel(const NetworkModel&) = delete;
@@ -116,8 +129,29 @@ class NetworkModel {
   /// (no-op without one). Call once when the trial's run ends.
   virtual void CollectMetrics(Cycles now) = 0;
 
+  /// Installs the fault-drop handler (see DropFn). Engines only take
+  /// the drop path — instead of aborting on unroutable packets — when a
+  /// handler is present.
+  void SetDropHandler(DropFn drop) { drop_ = std::move(drop); }
+
+  /// Marks the bidirectional link at (sw, port) dead as of the current
+  /// cycle: queued transmissions on it are dropped, in-flight worms
+  /// whose tail has not yet cleared the wire are truncated, and nothing
+  /// further is ever granted the channel. Both directions die together.
+  virtual void FailLink(SwitchId sw, PortId port) = 0;
+
+  /// Atomically swaps the routing state (BFS tree, up*/down*
+  /// orientation, routing tables, reachability) to `sys` — the Autonet
+  /// reconfiguration step. `sys` must describe the same
+  /// switches x ports shape (a degraded copy of the original graph);
+  /// packets routed after the swap use the new tables, worms already
+  /// holding channels keep them.
+  virtual void SwapSystem(const System& sys) = 0;
+
  protected:
   NetworkModel() = default;
+
+  DropFn drop_;  ///< null = pristine contract (unroutable packets abort)
 };
 
 /// Constructs the engine selected by `kind` on the shared event kernel.

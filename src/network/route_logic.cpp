@@ -34,34 +34,69 @@ RouteBranch MakeHostBranch(const System& sys, SwitchId s, NodeId n,
   return RouteBranch{std::move(copy), at.port};
 }
 
-void RouteUnicast(const System& sys, SwitchId s, const PacketPtr& pkt,
-                  bool adaptive, const PortLoadFn& load,
-                  std::vector<RouteBranch>& out) {
+bool TryRouteUnicast(const System& sys, SwitchId s, const PacketPtr& pkt,
+                     bool adaptive, const PortLoadFn& load,
+                     std::vector<RouteBranch>& out) {
   const SwitchId dest_sw = sys.graph.SwitchOf(pkt->uni_dest);
   if (dest_sw == s) {
     out.push_back(MakeHostBranch(sys, s, pkt->uni_dest, pkt));
-    return;
+    return true;
   }
   const auto& cand = sys.routing.Candidates(s, dest_sw, pkt->phase);
-  IRMC_ENSURE(!cand.empty());
+  if (cand.empty()) return false;  // stale phase under swapped tables
   const PortId p = PickPort(s, cand, adaptive, load);
   auto copy = pkt->CloneForBranch();
   copy->phase = sys.routing.NextPhase(s, p, pkt->phase);
   out.push_back(RouteBranch{std::move(copy), p});
+  return true;
 }
 
-void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
-                   bool adaptive, const PortLoadFn& load,
-                   std::vector<RouteBranch>& out) {
+/// TreeWormDecision without the phase-rule aborts: returns false where
+/// the public wrapper would ENSURE (down-only worm below a subtree the
+/// reconfigured tree moved away, or a climbing worm at a switch the new
+/// orientation made a root with no up ports).
+bool TryTreeDecision(const System& sys, SwitchId s, const NodeSet& rem,
+                     RoutePhase phase, TreeRouteDecision* decision) {
+  const Reachability& reach = sys.reach;
+  IRMC_EXPECT(!rem.Empty());
+  if (rem.IsSubsetOf(reach.DownCover(s))) {
+    decision->down = true;
+    for (PortId p : sys.updown.DownPorts(s))
+      if (rem.Intersects(reach.Primary(s, p))) decision->ports.push_back(p);
+    return true;
+  }
+
+  // Not down-coverable from here: continue climbing toward a least
+  // common ancestor. Legal only while the worm has not gone down.
+  if (phase != RoutePhase::kUpAllowed) return false;
+  const auto& ups = sys.updown.UpPorts(s);
+  if (ups.empty()) return false;
+  for (PortId p : ups) {
+    const SwitchId t = sys.graph.port(s, p).peer_switch;
+    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
+      decision->ports.push_back(p);
+  }
+  if (decision->ports.empty())
+    decision->ports.assign(ups.begin(), ups.end());
+  return true;
+}
+
+bool TryRouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
+                      bool adaptive, const PortLoadFn& load,
+                      std::vector<RouteBranch>& out) {
   const Reachability& reach = sys.reach;
   NodeSet locals = pkt->tree_dests & reach.Local(s);
-  for (NodeId n : locals.ToVector())
-    out.push_back(MakeHostBranch(sys, s, n, pkt));
   NodeSet rem = pkt->tree_dests;
   rem.Subtract(locals);
-  if (rem.Empty()) return;
 
-  const TreeRouteDecision decision = TreeWormDecision(sys, s, rem, pkt->phase);
+  TreeRouteDecision decision;
+  if (!rem.Empty() && !TryTreeDecision(sys, s, rem, pkt->phase, &decision))
+    return false;
+
+  for (NodeId n : locals.ToVector())
+    out.push_back(MakeHostBranch(sys, s, n, pkt));
+  if (rem.Empty()) return true;
+
   if (decision.down) {
     // Replicate downward along the partitioned reachability strings.
     NodeSet covered(rem.capacity());
@@ -74,7 +109,7 @@ void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
       covered |= part;
     }
     IRMC_ENSURE(covered == rem);
-    return;
+    return true;
   }
 
   const PortId p = PickPort(s, decision.ports, adaptive, load);
@@ -82,74 +117,87 @@ void RouteTreeWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
   copy->tree_dests = rem;
   copy->phase = RoutePhase::kUpAllowed;
   out.push_back(RouteBranch{std::move(copy), p});
+  return true;
 }
 
-void RoutePathWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
-                   std::vector<RouteBranch>& out) {
+bool TryRoutePathWorm(const System& sys, SwitchId s, const PacketPtr& pkt,
+                      std::vector<RouteBranch>& out) {
   IRMC_EXPECT(pkt->path != nullptr);
   IRMC_EXPECT(pkt->path_cursor < pkt->path->steps.size());
   const PathWormRoute::Step& step = pkt->path->steps[pkt->path_cursor];
-  IRMC_ENSURE(step.sw == s);
+  // A precomputed hop list goes stale wholesale after a reconfig swap:
+  // the cursor can name a switch the worm is not at, or a forward port
+  // the dead link vacated.
+  if (step.sw != s) return false;
+  if (step.forward_port != kInvalidPort &&
+      sys.graph.port(s, step.forward_port).kind != PortKind::kSwitch)
+    return false;
   for (NodeId n : step.deliver)
     out.push_back(MakeHostBranch(sys, s, n, pkt));
   if (step.forward_port == kInvalidPort) {
     IRMC_ENSURE(!step.deliver.empty());  // a worm must end with a drop
-    return;
+    return true;
   }
   auto copy = pkt->CloneForBranch();
   copy->path_cursor = pkt->path_cursor + 1;
   copy->header_flits = step.header_flits_after;
   copy->phase = sys.routing.NextPhase(s, step.forward_port, pkt->phase);
   out.push_back(RouteBranch{std::move(copy), step.forward_port});
+  return true;
+}
+
+bool TryRoute(const System& sys, SwitchId s, const PacketPtr& pkt,
+              bool adaptive, const PortLoadFn& load,
+              std::vector<RouteBranch>& out) {
+  const std::size_t first = out.size();
+  bool ok = false;
+  switch (pkt->kind) {
+    case HeaderKind::kUnicast:
+      ok = TryRouteUnicast(sys, s, pkt, adaptive, load, out);
+      break;
+    case HeaderKind::kTreeWorm:
+      ok = TryRouteTreeWorm(sys, s, pkt, adaptive, load, out);
+      break;
+    case HeaderKind::kPathWorm:
+      ok = TryRoutePathWorm(sys, s, pkt, out);
+      break;
+  }
+  if (!ok) {
+    out.resize(first);
+    return false;
+  }
+  for (std::size_t i = first; i < out.size(); ++i)
+    if (out[i].pkt->hop_log)
+      out[i].pkt->hop_log->push_back(HopRecord{s, out[i].port});
+  return true;
 }
 
 }  // namespace
 
 TreeRouteDecision TreeWormDecision(const System& sys, SwitchId s,
                                    const NodeSet& rem, RoutePhase phase) {
-  const Reachability& reach = sys.reach;
-  IRMC_EXPECT(!rem.Empty());
   TreeRouteDecision decision;
-  if (rem.IsSubsetOf(reach.DownCover(s))) {
-    decision.down = true;
-    for (PortId p : sys.updown.DownPorts(s))
-      if (rem.Intersects(reach.Primary(s, p))) decision.ports.push_back(p);
-    return decision;
-  }
-
-  // Not down-coverable from here: continue climbing toward a least
-  // common ancestor. Legal only while the worm has not gone down.
+  if (TryTreeDecision(sys, s, rem, phase, &decision)) return decision;
+  // Re-derive which contract the caller violated so the abort message
+  // stays as specific as it was before the Try split.
   IRMC_ENSURE(phase == RoutePhase::kUpAllowed);
-  const auto& ups = sys.updown.UpPorts(s);
-  IRMC_ENSURE(!ups.empty());
-  for (PortId p : ups) {
-    const SwitchId t = sys.graph.port(s, p).peer_switch;
-    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
-      decision.ports.push_back(p);
-  }
-  if (decision.ports.empty())
-    decision.ports.assign(ups.begin(), ups.end());
+  IRMC_ENSURE(!sys.updown.UpPorts(s).empty());
+  IRMC_ENSURE(false && "unroutable tree worm");
   return decision;
 }
 
 void ComputeRouteBranches(const System& sys, SwitchId s, const PacketPtr& pkt,
                           bool adaptive, const PortLoadFn& load,
                           std::vector<RouteBranch>& out) {
-  const std::size_t first = out.size();
-  switch (pkt->kind) {
-    case HeaderKind::kUnicast:
-      RouteUnicast(sys, s, pkt, adaptive, load, out);
-      break;
-    case HeaderKind::kTreeWorm:
-      RouteTreeWorm(sys, s, pkt, adaptive, load, out);
-      break;
-    case HeaderKind::kPathWorm:
-      RoutePathWorm(sys, s, pkt, out);
-      break;
-  }
-  for (std::size_t i = first; i < out.size(); ++i)
-    if (out[i].pkt->hop_log)
-      out[i].pkt->hop_log->push_back(HopRecord{s, out[i].port});
+  IRMC_ENSURE(TryRoute(sys, s, pkt, adaptive, load, out) &&
+              "unroutable packet (stale header without a drop handler?)");
+}
+
+bool TryComputeRouteBranches(const System& sys, SwitchId s,
+                             const PacketPtr& pkt, bool adaptive,
+                             const PortLoadFn& load,
+                             std::vector<RouteBranch>& out) {
+  return TryRoute(sys, s, pkt, adaptive, load, out);
 }
 
 }  // namespace irmc

@@ -63,4 +63,18 @@ void ComputeRouteBranches(const System& sys, SwitchId s, const PacketPtr& pkt,
                           bool adaptive, const PortLoadFn& load,
                           std::vector<RouteBranch>& out);
 
+/// Non-aborting variant for engines running under fault injection: a
+/// header that made legal progress under the tables it was injected
+/// with can become unroutable after a reconfiguration swap (a unicast
+/// with no surviving candidate in its phase, a tree worm caught in
+/// down-only phase below a moved subtree, a path worm whose precomputed
+/// hop list names the dead link or a foreign switch). Returns false and
+/// leaves `out` untouched for exactly those staleness cases — the
+/// caller reports the packet dropped; genuine plan/contract bugs still
+/// abort.
+bool TryComputeRouteBranches(const System& sys, SwitchId s,
+                             const PacketPtr& pkt, bool adaptive,
+                             const PortLoadFn& load,
+                             std::vector<RouteBranch>& out);
+
 }  // namespace irmc

@@ -1,0 +1,60 @@
+// Deterministic, seed-driven fault schedules (docs/resilience.md).
+//
+// A schedule is a time-ordered list of link faults. All generators here
+// produce *cumulatively survivable* schedules: each fault, applied to
+// the graph left behind by the previous ones, removes a non-bridge link
+// (CriticalLinks/WithoutLink are the oracle), so an Autonet
+// reconfiguration can always route around the loss. User-supplied
+// schedules are validated with the same oracle before a run starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/params.hpp"
+#include "topology/fault.hpp"
+#include "topology/graph.hpp"
+
+namespace irmc {
+
+/// Sorts by fault time (stable: ties keep their given order).
+void SortSchedule(std::vector<TimedFault>& schedule);
+
+/// True when every fault, applied in time order, names a live
+/// switch-to-switch link whose removal keeps the switch graph connected.
+bool ScheduleIsSurvivable(const Graph& g,
+                          const std::vector<TimedFault>& schedule);
+
+/// The graph after each fault prefix: result[i] is `g` with faults
+/// 0..i applied (time order). Aborts on an unsurvivable schedule —
+/// callers gate on ScheduleIsSurvivable for a soft failure.
+std::vector<Graph> SurvivingGraphs(const Graph& g,
+                                   const std::vector<TimedFault>& schedule);
+
+/// `count` random faults at times uniform in [window_lo, window_hi],
+/// each removing a link that is a non-bridge *at its turn*. Returns
+/// fewer than `count` faults when the graph runs out of redundancy.
+/// Deterministic in (g, seed).
+std::vector<TimedFault> MakeSurvivableSchedule(const Graph& g,
+                                               std::uint64_t seed, int count,
+                                               Cycles window_lo,
+                                               Cycles window_hi);
+
+/// Random faults with exponentially distributed interarrival times of
+/// mean `mtbf` cycles, capped at `max_faults`, survivable by
+/// construction (same per-turn non-bridge rule). Deterministic in
+/// (g, seed).
+std::vector<TimedFault> ScheduleFromMtbf(const Graph& g, double mtbf,
+                                         int max_faults, std::uint64_t seed);
+
+/// Parses "t:sw:port[,t:sw:port...]" (the CLI --fault-schedule syntax).
+/// Returns false on malformed input and leaves `out` untouched. The
+/// parsed schedule is sorted by time; survivability is not checked here
+/// (that needs the graph).
+bool ParseFaultSchedule(const std::string& text, std::vector<TimedFault>* out);
+
+/// Inverse of ParseFaultSchedule (round-trips through it).
+std::string FormatFaultSchedule(const std::vector<TimedFault>& schedule);
+
+}  // namespace irmc

@@ -1,5 +1,7 @@
 #include "topology/fault.hpp"
 
+#include <algorithm>
+
 #include "common/expect.hpp"
 
 namespace irmc {
@@ -58,11 +60,75 @@ std::optional<Graph> WithoutLink(const Graph& g, SwitchId sw, PortId port) {
 }
 
 std::vector<LinkRef> CriticalLinks(const Graph& g) {
+  // Single-pass Tarjan bridge finding over the switch multigraph
+  // (O(V + E) instead of the old per-link connectivity recompute).
+  // The DFS skips only the specific port it entered a vertex through,
+  // not the parent vertex, so a parallel multi-link between the same
+  // switch pair is traversed as a back edge and is never a bridge.
+  const SwitchId num_switches = g.num_switches();
+  const PortId ports = g.ports_per_switch();
+  std::vector<int> disc(static_cast<std::size_t>(num_switches), -1);
+  std::vector<int> low(static_cast<std::size_t>(num_switches), 0);
   std::vector<LinkRef> critical;
-  for (const LinkRef& link : AllLinks(g)) {
-    const Graph degraded = CopyWithoutLink(g, link.sw, link.port);
-    if (!degraded.Connected()) critical.push_back(link);
+  int timer = 0;
+
+  struct Frame {
+    SwitchId v;
+    PortId in_port;  ///< local port the DFS entered through (kInvalidPort
+                     ///< for roots); the one edge not re-traversed
+    PortId next;     ///< next local port to scan
+  };
+  std::vector<Frame> stack;
+  for (SwitchId root = 0; root < num_switches; ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    disc[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = timer++;
+    stack.push_back(Frame{root, kInvalidPort, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next >= ports) {
+        const Frame done = f;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& parent = stack.back();
+        const auto dv = static_cast<std::size_t>(done.v);
+        const auto pv = static_cast<std::size_t>(parent.v);
+        low[pv] = std::min(low[pv], low[dv]);
+        if (low[dv] > disc[pv]) {
+          // Tree edge (parent.v, parent.next - 1) <-> (done.v,
+          // done.in_port) is a bridge; report it from its lower end,
+          // matching AllLinks's convention.
+          const auto parent_port = static_cast<PortId>(parent.next - 1);
+          if (parent.v < done.v ||
+              (parent.v == done.v && parent_port < done.in_port))
+            critical.push_back(LinkRef{parent.v, parent_port});
+          else
+            critical.push_back(LinkRef{done.v, done.in_port});
+        }
+        continue;
+      }
+      const PortId p = f.next++;
+      if (p == f.in_port) continue;
+      const Port& pt = g.port(f.v, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      const SwitchId w = pt.peer_switch;
+      const auto wi = static_cast<std::size_t>(w);
+      if (disc[wi] == -1) {
+        disc[wi] = low[wi] = timer++;
+        const PortId child_in = pt.peer_port;
+        stack.push_back(Frame{w, child_in, 0});
+      } else {
+        const auto vi = static_cast<std::size_t>(f.v);
+        low[vi] = std::min(low[vi], disc[wi]);
+      }
+    }
   }
+  // AllLinks order: ascending (switch, port) of the lower end.
+  std::sort(critical.begin(), critical.end(),
+            [](const LinkRef& a, const LinkRef& b) {
+              if (a.sw != b.sw) return a.sw < b.sw;
+              return a.port < b.port;
+            });
   return critical;
 }
 

@@ -39,6 +39,10 @@ enum class TraceKind {
   kHostDeliver,    ///< message complete at host level (actor = node)
   kBlockBegin,     ///< transmission held by a busy/backpressured channel
   kBlockEnd,       ///< end of the stall (same actor/detail as its begin)
+  kFault,          ///< link went down (actor = switch, detail = port)
+  kDrop,           ///< in-flight packet truncated by a fault and reported
+                   ///< to its injecting NI (actor = source node, detail =
+                   ///< switch where it died, -1 if queued pre-wire)
 };
 
 const char* ToString(TraceKind kind);

@@ -53,6 +53,50 @@ TEST(Fault, InvalidPortsRejected) {
   EXPECT_FALSE(WithoutLink(g, 0, 1).has_value());  // host port
   EXPECT_FALSE(WithoutLink(g, 0, 3).has_value());  // free port
   EXPECT_FALSE(WithoutLink(g, 5, 0).has_value());  // bad switch
+  EXPECT_FALSE(WithoutLink(g, -1, 0).has_value());  // negative switch
+  EXPECT_FALSE(WithoutLink(g, 0, -1).has_value());  // negative port
+  EXPECT_FALSE(WithoutLink(g, 0, 4).has_value());   // port out of range
+}
+
+TEST(Fault, ParallelMultiLinksAreNeverBridges) {
+  // Two parallel links between switches 0 and 1 plus a genuine bridge to
+  // switch 2. A parent-vertex-skipping DFS would treat the parallel twin
+  // as "the way we came" and call both links bridges; the edge-skipping
+  // Tarjan pass must flag only the 1-2 link.
+  Graph g(3, 4);
+  g.AddLink(0, 0, 1, 0);
+  g.AddLink(0, 1, 1, 1);  // parallel twin
+  g.AddLink(1, 2, 2, 0);
+  const auto crit = CriticalLinks(g);
+  ASSERT_EQ(crit.size(), 1u);
+  EXPECT_EQ(crit[0].sw, 1);
+  EXPECT_EQ(crit[0].port, 2);
+  // And the oracle agrees: either twin is individually survivable ...
+  ASSERT_TRUE(WithoutLink(g, 0, 0).has_value());
+  EXPECT_TRUE(WithoutLink(g, 0, 1).has_value());
+  // ... but once one twin is gone the survivor becomes a bridge.
+  const Graph degraded = *WithoutLink(g, 0, 0);
+  EXPECT_FALSE(WithoutLink(degraded, 0, 1).has_value());
+  ASSERT_EQ(CriticalLinks(degraded).size(), 2u);
+}
+
+TEST(Fault, TarjanAgreesWithPerLinkRecompute) {
+  // The single-pass bridge finder against the brute-force oracle
+  // (remove each link, recheck connectivity) over generated topologies,
+  // including sparse ones where most links are tree links.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    TopologySpec spec;
+    spec.link_utilization = (seed % 3) * 0.4;  // 0, 0.4, 0.8
+    const Graph g = GenerateTopology(spec, seed);
+    const auto critical = CriticalLinks(g);
+    for (const LinkRef& l : AllLinks(g)) {
+      bool flagged = false;
+      for (const LinkRef& c : critical)
+        if (c.sw == l.sw && c.port == l.port) flagged = true;
+      EXPECT_EQ(flagged, !WithoutLink(g, l.sw, l.port).has_value())
+          << "seed " << seed << " link sw" << l.sw << ".p" << l.port;
+    }
+  }
 }
 
 TEST(Fault, RemovalPreservesHostsAndOtherLinks) {

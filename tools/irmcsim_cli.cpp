@@ -34,6 +34,7 @@
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
 #include "metrics/export.hpp"
+#include "resilience/fault_schedule.hpp"
 #include "topology/serialize.hpp"
 #include "topology/system.hpp"
 #include "trace/analysis.hpp"
@@ -140,6 +141,19 @@ SimConfig ConfigFrom(const Args& args) {
   cfg.net.buffer_flits =
       static_cast<int>(args.GetInt("buffer-flits", cfg.net.buffer_flits));
   cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  // Runtime resilience (docs/resilience.md): an explicit fault schedule
+  // and/or random faults with a mean time between failures. Either one
+  // switches the NI retransmit layer and the reconfiguration manager on.
+  const std::string faults = args.GetString("fault-schedule", "");
+  if (!faults.empty())
+    IRMC_ENSURE(ParseFaultSchedule(faults, &cfg.resilience.schedule) &&
+                "bad --fault-schedule (want t:sw:port[,t:sw:port...])");
+  cfg.resilience.mtbf = args.GetDouble("mtbf", cfg.resilience.mtbf);
+  cfg.resilience.reconfig_delay = static_cast<Cycles>(
+      args.GetInt("reconfig-delay", cfg.resilience.reconfig_delay));
+  cfg.resilience.verify_reconfig = args.GetFlag("verify-reconfig");
+  cfg.resilience.enabled =
+      !cfg.resilience.schedule.empty() || cfg.resilience.mtbf > 0.0;
   // --threads N overrides IRMC_THREADS for the trial executor (1 = serial).
   const int threads = static_cast<int>(args.GetInt("threads", 0));
   if (threads > 0) SetParallelThreads(threads);
@@ -159,6 +173,12 @@ int Usage() {
                "buffer)\n"
                "         --threads N  (parallel trials; default "
                "IRMC_THREADS or all cores)\n"
+               "         --fault-schedule t:sw:port[,...]  (kill links "
+               "mid-run; NI retransmit\n"
+               "                      + Autonet reconfig recover them)\n"
+               "         --mtbf CYCLES  (random survivable link faults, "
+               "exponential gaps)\n"
+               "         --reconfig-delay CYCLES  --verify-reconfig\n"
                "         --metrics FILE  (single/load/dsm: write merged "
                "metrics; .json/.jsonl/.csv)\n"
                "         --trace FILE[:CAP]  (single/load/dsm: write merged "
