@@ -1,5 +1,10 @@
 // Shared sweep helpers for the figure-reproduction benches.
 //
+// The panel loops themselves live in src/report/collect.hpp (RunPanel),
+// shared with the `irmc_report record` CLI; this header wires them to
+// the bench environment knobs, the per-point metric sidecars, and the
+// run ledger.
+//
 // Scaling knobs (environment variables):
 //   IRMC_TOPOLOGIES  topologies per single-multicast data point (default 10)
 //   IRMC_SAMPLES     (source, destination-set) draws per topology (default 4)
@@ -14,13 +19,20 @@
 //                    (<slug>.metrics.jsonl, one JSON line per data
 //                    point; default "bench-out/", created on demand;
 //                    set empty to disable).
+//   IRMC_LEDGER      run-ledger path (default
+//                    "<IRMC_METRICS_DIR>/ledger.jsonl"; set empty to
+//                    disable). Every panel appends one RunRecord —
+//                    config fingerprint, build info, series rows,
+//                    merged metrics, per-scheme latency histograms —
+//                    consumed by tools/irmc_report (diff/regress/html).
+//   IRMC_LEDGER_DETERMINISTIC  record wall_seconds as 0 so ledger files
+//                    byte-compare across runs and thread counts.
 //   IRMC_ENGINE      network engine for every panel: "vct" (default) or
 //                    "flit". IRMC_ENGINE=flit replays the same figures
 //                    on the flit-level wormhole engine (see
 //                    docs/engines.md); anything else aborts.
 #pragma once
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -28,11 +40,14 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
+#include "common/json.hpp"
 #include "core/config.hpp"
 #include "core/load_runner.hpp"
 #include "core/series.hpp"
 #include "core/single_runner.hpp"
 #include "metrics/export.hpp"
+#include "report/collect.hpp"
 
 namespace irmc::bench {
 
@@ -52,16 +67,7 @@ inline std::vector<std::string> SchemeColumns(const std::string& x_label) {
 /// Filesystem-safe slug for a panel title ("Fig. 6: latency vs R" ->
 /// "fig_6_latency_vs_r").
 inline std::string SlugifyTitle(const std::string& title) {
-  std::string s;
-  for (char c : title) {
-    if (std::isalnum(static_cast<unsigned char>(c)))
-      s.push_back(static_cast<char>(
-          std::tolower(static_cast<unsigned char>(c))));
-    else if (!s.empty() && s.back() != '_')
-      s.push_back('_');
-  }
-  while (!s.empty() && s.back() == '_') s.pop_back();
-  return s.empty() ? std::string("panel") : s;
+  return report::SlugifyTitle(title);
 }
 
 /// Where sidecars go: $IRMC_METRICS_DIR, defaulting to a `bench-out/`
@@ -78,17 +84,23 @@ inline std::string MetricsDir() {
 /// Per-point metric sidecar for one panel: appends one JSON line per
 /// (x, scheme) data point to <slug(title)>.metrics.jsonl so figures in
 /// the series tables can be cross-checked against the fabric/driver
-/// counters that produced them. The file is recreated per run; point
-/// order is the panel's deterministic sweep order, and the registry
-/// serialisation is bit-identical for any IRMC_THREADS, so the sidecar
-/// is byte-stable too.
+/// counters that produced them. The first line stamps the producing
+/// build ({"kind":"build",...}), like every file-level export. The file
+/// is recreated per run; point order is the panel's deterministic sweep
+/// order, and the registry serialisation is bit-identical for any
+/// IRMC_THREADS, so the sidecar is byte-stable too.
 class MetricsSidecar {
  public:
   explicit MetricsSidecar(const std::string& title) {
     const std::string dir = MetricsDir();
     if (dir.empty()) return;  // disabled
     path_ = dir + "/" + SlugifyTitle(title) + ".metrics.jsonl";
-    std::remove(path_.c_str());
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      path_.clear();
+      return;
+    }
+    out << "{\"kind\":\"build\",\"value\":" << ToJson(GetBuildInfo()) << "}\n";
   }
 
   void Record(const std::string& x_label, double x, SchemeKind scheme,
@@ -100,11 +112,9 @@ class MetricsSidecar {
       path_.clear();
       return;
     }
-    char xbuf[40];
-    std::snprintf(xbuf, sizeof xbuf, "%.17g", x);
-    out << "{\"" << JsonEscape(x_label) << "\":" << xbuf << ",\"scheme\":\""
-        << JsonEscape(ToString(scheme)) << "\",\"metrics\":" << ToJson(reg)
-        << "}\n";
+    out << '{' << json::Str(x_label) << ':' << json::Num(x)
+        << ",\"scheme\":" << json::Str(ToString(scheme))
+        << ",\"metrics\":" << ToJson(reg) << "}\n";
   }
 
   const std::string& path() const { return path_; }
@@ -127,64 +137,48 @@ inline SimConfig WithEnvEngine(SimConfig cfg) {
   return cfg;
 }
 
+/// Runs a panel spec with the sidecar writer attached and appends its
+/// RunRecord to the ledger.
+inline SeriesTable RunRecordedPanel(report::PanelSpec spec) {
+  MetricsSidecar sidecar(spec.title);
+  spec.on_point = [&sidecar](const std::string& x_label, double x,
+                             SchemeKind scheme, const MetricsRegistry& reg) {
+    sidecar.Record(x_label, x, scheme, reg);
+  };
+  const report::PanelOutcome outcome = report::RunPanel(spec);
+  if (!report::AppendPanelRecord(report::DefaultLedgerPath(), spec, outcome))
+    std::fprintf(stderr, "cannot append run ledger %s\n",
+                 report::DefaultLedgerPath().c_str());
+  return outcome.table;
+}
+
 /// One single-multicast panel: latency per scheme over multicast sizes.
 inline SeriesTable SingleMulticastPanel(const std::string& title,
                                         const SimConfig& cfg_in,
                                         const std::vector<int>& sizes) {
-  const SimConfig cfg = WithEnvEngine(cfg_in);
-  SeriesTable table(title, SchemeColumns("mcast_size"));
-  MetricsSidecar sidecar(title);
-  const int topologies = EnvInt("IRMC_TOPOLOGIES", 10);
-  const int samples = EnvInt("IRMC_SAMPLES", 4);
-  for (int size : sizes) {
-    std::vector<double> row{static_cast<double>(size)};
-    for (SchemeKind scheme : AllSchemes()) {
-      SingleRunSpec spec;
-      spec.cfg = cfg;
-      spec.scheme = scheme;
-      spec.multicast_size = size;
-      spec.topologies = topologies;
-      spec.samples_per_topology = samples;
-      const SingleRunResult r = RunSingleMulticast(spec);
-      sidecar.Record("mcast_size", size, scheme, r.metrics);
-      row.push_back(r.mean_latency);
-    }
-    table.AddRow(row);
-  }
-  return table;
+  report::PanelSpec spec;
+  spec.title = title;
+  spec.cfg = WithEnvEngine(cfg_in);
+  spec.mode = report::PanelMode::kSingle;
+  spec.sizes = sizes;
+  spec.topologies = EnvInt("IRMC_TOPOLOGIES", 10);
+  spec.samples = EnvInt("IRMC_SAMPLES", 4);
+  return RunRecordedPanel(std::move(spec));
 }
 
 /// One load panel: mean latency per scheme over effective applied loads;
 /// saturated points are tagged "sat".
 inline SeriesTable LoadPanel(const std::string& title, const SimConfig& cfg_in,
                              int degree, const std::vector<double>& loads) {
-  const SimConfig cfg = WithEnvEngine(cfg_in);
-  SeriesTable table(title, SchemeColumns("eff_load"));
-  MetricsSidecar sidecar(title);
-  const int topologies = EnvInt("IRMC_LOAD_TOPOS", 2);
-  const auto horizon = static_cast<Cycles>(EnvInt("IRMC_HORIZON", 150'000));
-  for (double load : loads) {
-    std::vector<double> row{load};
-    std::vector<bool> saturated;
-    for (SchemeKind scheme : AllSchemes()) {
-      LoadRunSpec spec;
-      spec.cfg = cfg;
-      spec.scheme = scheme;
-      spec.degree = degree;
-      spec.effective_load = load;
-      spec.topologies = topologies;
-      spec.horizon = horizon;
-      spec.warmup = horizon / 10;
-      const LoadRunResult r = RunLoadSweepPoint(spec);
-      sidecar.Record("eff_load", load, scheme, r.metrics);
-      row.push_back(r.mean_latency);
-      saturated.push_back(r.saturated);
-    }
-    table.AddRow(row);
-    for (std::size_t i = 0; i < saturated.size(); ++i)
-      if (saturated[i]) table.TagLastCell(i + 1, "sat");
-  }
-  return table;
+  report::PanelSpec spec;
+  spec.title = title;
+  spec.cfg = WithEnvEngine(cfg_in);
+  spec.mode = report::PanelMode::kLoad;
+  spec.loads = loads;
+  spec.degree = degree;
+  spec.topologies = EnvInt("IRMC_LOAD_TOPOS", 2);
+  spec.horizon = static_cast<Cycles>(EnvInt("IRMC_HORIZON", 150'000));
+  return RunRecordedPanel(std::move(spec));
 }
 
 inline const std::vector<int>& DefaultSizes() {

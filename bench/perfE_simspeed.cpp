@@ -26,6 +26,8 @@
 #include "core/single_runner.hpp"
 #include "mcast/scheme.hpp"
 #include "metrics/export.hpp"
+#include "report/collect.hpp"
+#include "report/ledger.hpp"
 #include "topology/system.hpp"
 #include "verify/deadlock.hpp"
 
@@ -206,6 +208,44 @@ std::string SweepJson(const TimedSweep& s) {
   return buf;
 }
 
+/// Appends a "perf"-kind RunRecord to the run ledger so the diff layer
+/// can compare simulator speed across builds. Throughput gauges carry
+/// the per_sec suffix (higher-is-better in irmc_report regress); the
+/// timing values themselves are machine-dependent, which is exactly
+/// what a perf ledger records — cross-machine comparisons should raise
+/// --threshold rather than expect byte equality.
+void AppendPerfLedgerRecord(const TimedSweep& vct, const TimedSweep& off,
+                            const TimedSweep& flit,
+                            const TimedAnalysis& analysis,
+                            double overhead_pct) {
+  const std::string path = report::DefaultLedgerPath();
+  if (path.empty()) return;
+  report::RunInfo info;
+  info.name = "perfE_simspeed";
+  info.kind = "perf";
+  info.engine = "vct+flit";
+  // Name-sorted knobs of the timed sweep point (TimeSweep above).
+  info.config =
+      "degree=8 horizon=60000 load=0.29999999999999999 reps=3 "
+      "scheme=tree-worm topologies=4 warmup=5000";
+  info.wall_seconds = vct.seconds + off.seconds + flit.seconds +
+                      analysis.seconds;
+  MetricsRegistry m;
+  m.GetCounter("perf.vct.events").value =
+      static_cast<std::int64_t>(vct.events);
+  m.GetCounter("perf.flit.events").value =
+      static_cast<std::int64_t>(flit.events);
+  m.GetGauge("perf.vct.events_per_sec").Set(vct.EventsPerSec());
+  m.GetGauge("perf.flit.events_per_sec").Set(flit.EventsPerSec());
+  m.GetGauge("perf.metrics_off.events_per_sec").Set(off.EventsPerSec());
+  m.GetGauge("perf.metrics_overhead_pct").Set(overhead_pct);
+  m.GetGauge("perf.deadlock.topologies_per_sec").Set(analysis.PerSec());
+  if (!report::AppendRecord(path,
+                            report::RunRecordJson(info, report::SeriesData{},
+                                                  m, {})))
+    std::fprintf(stderr, "cannot append run record to %s\n", path.c_str());
+}
+
 /// Times the same load sweep point on both engines side by side, plus
 /// the VCT engine with metrics off (best of kReps each, alternating so
 /// thermal/frequency drift hits every mode), prints the comparison, and
@@ -274,6 +314,8 @@ int RunEngineComparisonAndMetricsGate() {
     else
       std::printf("wrote %s\n", path.c_str());
   }
+  AppendPerfLedgerRecord(best_on, best_off, best_flit, analysis,
+                         overhead_pct);
   return 0;
 }
 

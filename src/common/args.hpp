@@ -36,6 +36,11 @@ class Args {
   std::string GetChoice(const std::string& key, const std::string& fallback,
                         const std::vector<std::string>& allowed) const;
 
+  /// True when `--version` was passed (consumed). Every CLI checks this
+  /// first and prints VersionLine(tool) + the BuildInfo JSON
+  /// (common/build_info.hpp) before doing anything else.
+  bool VersionRequested() const { return GetFlag("version"); }
+
   /// Stray non-flag tokens after the command word (file operands, ...),
   /// in argv order; marks them consumed.
   std::vector<std::string> Positionals() const;

@@ -1,0 +1,58 @@
+#include "common/build_info.hpp"
+
+#include "common/json.hpp"
+
+// Configure-time stamps (src/CMakeLists.txt sets these on this file
+// only). Fallbacks keep non-CMake compiles (clang-tidy, IDEs) working.
+#ifndef IRMC_GIT_SHA
+#define IRMC_GIT_SHA "unknown"
+#endif
+#ifndef IRMC_BUILD_TYPE
+#define IRMC_BUILD_TYPE "unknown"
+#endif
+#ifndef IRMC_SANITIZE_NAME
+#define IRMC_SANITIZE_NAME ""
+#endif
+
+namespace irmc {
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = IRMC_GIT_SHA;
+    b.compiler = CompilerString();
+    b.build_type = IRMC_BUILD_TYPE;
+    const std::string sanitize = IRMC_SANITIZE_NAME;
+    b.sanitizer = sanitize.empty() ? "none" : sanitize;
+    return b;
+  }();
+  return info;
+}
+
+std::string ToJson(const BuildInfo& info) {
+  return "{\"build_type\":" + json::Str(info.build_type) +
+         ",\"compiler\":" + json::Str(info.compiler) +
+         ",\"git_sha\":" + json::Str(info.git_sha) +
+         ",\"sanitizer\":" + json::Str(info.sanitizer) + '}';
+}
+
+std::string VersionLine(const std::string& tool) {
+  const BuildInfo& b = GetBuildInfo();
+  return tool + ' ' + b.git_sha + " (" + b.compiler + ", " + b.build_type +
+         ", sanitizer=" + b.sanitizer + ')';
+}
+
+}  // namespace irmc

@@ -1,0 +1,36 @@
+// Build provenance: which bits produced a metrics file, a trace, a
+// ledger record, or a CLI's output.
+//
+// Differential performance analysis is only meaningful when every
+// artifact names the build that produced it — comparing a sanitizer
+// build's latencies against a release baseline is a category error the
+// report layer must be able to detect. The git SHA, build type, and
+// sanitizer flags are stamped at configure time by src/CMakeLists.txt
+// (compile definitions on build_info.cpp only, so a SHA change does not
+// rebuild the world); the compiler string comes from predefined macros
+// at compile time.
+#pragma once
+
+#include <string>
+
+namespace irmc {
+
+struct BuildInfo {
+  std::string git_sha;     ///< short SHA at configure time; "unknown" outside git
+  std::string compiler;    ///< e.g. "gcc 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string sanitizer;   ///< -DIRMC_SANITIZE value, or "none"
+};
+
+/// The stamp baked into this binary (constant for the process lifetime).
+const BuildInfo& GetBuildInfo();
+
+/// Name-sorted JSON object:
+/// {"build_type":..,"compiler":..,"git_sha":..,"sanitizer":..}
+std::string ToJson(const BuildInfo& info);
+
+/// One-line human form for `--version`:
+///   "<tool> <sha> (<compiler>, <build_type>, sanitizer=<s>)"
+std::string VersionLine(const std::string& tool);
+
+}  // namespace irmc

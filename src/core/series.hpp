@@ -23,6 +23,13 @@ class SeriesTable {
   /// Writes the aligned table followed by the csv block to stdout.
   void Print() const;
 
+  // Read access for the run ledger (report/ledger.hpp), which persists
+  // the same rows the csv block prints.
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  const std::vector<std::vector<std::string>>& tags() const { return tags_; }
+
  private:
   std::string title_;
   std::vector<std::string> columns_;

@@ -1,70 +1,39 @@
 #include "metrics/export.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <fstream>
+
+#include "common/build_info.hpp"
+#include "common/json.hpp"
 
 namespace irmc {
 namespace {
 
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+std::string GaugeJson(const Gauge& g) {
+  return std::string("{\"mode\":\"") + ToString(g.mode) +
+         "\",\"value\":" + json::Num(g.value) + '}';
 }
 
-std::string FormatInt(std::int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  return buf;
-}
+}  // namespace
 
-/// {"count":..,"sum":..,"min":..,"max":..,"bins":[[lo,hi,n],...]}
-/// (non-empty bins only; min/max omitted when the histogram is empty).
-std::string HistogramJson(const Histogram& h) {
-  std::string out = "{\"count\":" + FormatInt(h.count()) +
-                    ",\"sum\":" + FormatInt(h.sum());
-  if (h.count() > 0)
-    out += ",\"min\":" + FormatInt(h.min()) + ",\"max\":" + FormatInt(h.max());
+std::string HistogramToJson(const Histogram& h) {
+  std::string out = "{\"count\":" + json::Num(h.count()) +
+                    ",\"sum\":" + json::Num(h.sum());
+  if (h.count() > 0) {
+    out += ",\"min\":" + json::Num(h.min()) + ",\"max\":" + json::Num(h.max());
+    out += ",\"p50\":" + json::Num(h.Quantile(0.50)) +
+           ",\"p95\":" + json::Num(h.Quantile(0.95)) +
+           ",\"p99\":" + json::Num(h.Quantile(0.99));
+  }
   out += ",\"bins\":[";
   bool first = true;
   for (int b = 0; b < Histogram::kBins; ++b) {
     if (h.bin(b) == 0) continue;
     if (!first) out += ',';
     first = false;
-    out += '[' + FormatInt(Histogram::BinLower(b)) + ',' +
-           FormatInt(Histogram::BinUpper(b)) + ',' + FormatInt(h.bin(b)) + ']';
+    out += '[' + json::Num(Histogram::BinLower(b)) + ',' +
+           json::Num(Histogram::BinUpper(b)) + ',' + json::Num(h.bin(b)) + ']';
   }
   out += "]}";
-  return out;
-}
-
-std::string GaugeJson(const Gauge& g) {
-  return std::string("{\"mode\":\"") + ToString(g.mode) +
-         "\",\"value\":" + FormatDouble(g.value) + '}';
-}
-
-}  // namespace
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
   return out;
 }
 
@@ -74,21 +43,21 @@ std::string ToJson(const MetricsRegistry& reg) {
   for (const auto& [name, c] : reg.counters()) {
     if (!first) out += ',';
     first = false;
-    out += '"' + JsonEscape(name) + "\":" + FormatInt(c.value);
+    out += json::Str(name) + ':' + json::Num(c.value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : reg.gauges()) {
     if (!first) out += ',';
     first = false;
-    out += '"' + JsonEscape(name) + "\":" + GaugeJson(g);
+    out += json::Str(name) + ':' + GaugeJson(g);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : reg.histograms()) {
     if (!first) out += ',';
     first = false;
-    out += '"' + JsonEscape(name) + "\":" + HistogramJson(h);
+    out += json::Str(name) + ':' + HistogramToJson(h);
   }
   out += "}}";
   return out;
@@ -97,37 +66,43 @@ std::string ToJson(const MetricsRegistry& reg) {
 std::string ToJsonLines(const MetricsRegistry& reg) {
   std::string out;
   for (const auto& [name, c] : reg.counters())
-    out += "{\"kind\":\"counter\",\"name\":\"" + JsonEscape(name) +
-           "\",\"value\":" + FormatInt(c.value) + "}\n";
+    out += "{\"kind\":\"counter\",\"name\":" + json::Str(name) +
+           ",\"value\":" + json::Num(c.value) + "}\n";
   for (const auto& [name, g] : reg.gauges())
-    out += "{\"kind\":\"gauge\",\"name\":\"" + JsonEscape(name) +
-           "\",\"mode\":\"" + ToString(g.mode) +
-           "\",\"value\":" + FormatDouble(g.value) + "}\n";
+    out += "{\"kind\":\"gauge\",\"name\":" + json::Str(name) +
+           ",\"mode\":\"" + ToString(g.mode) +
+           "\",\"value\":" + json::Num(g.value) + "}\n";
   for (const auto& [name, h] : reg.histograms())
-    out += "{\"kind\":\"histogram\",\"name\":\"" + JsonEscape(name) +
-           "\",\"value\":" + HistogramJson(h) + "}\n";
+    out += "{\"kind\":\"histogram\",\"name\":" + json::Str(name) +
+           ",\"value\":" + HistogramToJson(h) + "}\n";
   return out;
 }
 
 std::string ToCsv(const MetricsRegistry& reg) {
   std::string out = "kind,name,field,value\n";
   for (const auto& [name, c] : reg.counters())
-    out += "counter," + name + ",value," + FormatInt(c.value) + '\n';
+    out += "counter," + name + ",value," + json::Num(c.value) + '\n';
   for (const auto& [name, g] : reg.gauges())
     out += "gauge," + name + ',' + ToString(g.mode) + ',' +
-           FormatDouble(g.value) + '\n';
+           json::Num(g.value) + '\n';
   for (const auto& [name, h] : reg.histograms()) {
-    out += "histogram," + name + ",count," + FormatInt(h.count()) + '\n';
-    out += "histogram," + name + ",sum," + FormatInt(h.sum()) + '\n';
+    out += "histogram," + name + ",count," + json::Num(h.count()) + '\n';
+    out += "histogram," + name + ",sum," + json::Num(h.sum()) + '\n';
     if (h.count() > 0) {
-      out += "histogram," + name + ",min," + FormatInt(h.min()) + '\n';
-      out += "histogram," + name + ",max," + FormatInt(h.max()) + '\n';
+      out += "histogram," + name + ",min," + json::Num(h.min()) + '\n';
+      out += "histogram," + name + ",max," + json::Num(h.max()) + '\n';
+      // Derived latency-style quantiles from the log2 bins (see
+      // BinnedQuantile for the pinned interpolation) so downstream
+      // spreadsheets get p50/p95/p99 without re-deriving bins.
+      out += "histogram," + name + ",p50," + json::Num(h.Quantile(0.50)) + '\n';
+      out += "histogram," + name + ",p95," + json::Num(h.Quantile(0.95)) + '\n';
+      out += "histogram," + name + ",p99," + json::Num(h.Quantile(0.99)) + '\n';
     }
     for (int b = 0; b < Histogram::kBins; ++b) {
       if (h.bin(b) == 0) continue;
       out += "histogram," + name + ",bin_" +
-             FormatInt(Histogram::BinLower(b)) + '_' +
-             FormatInt(Histogram::BinUpper(b)) + ',' + FormatInt(h.bin(b)) +
+             json::Num(Histogram::BinLower(b)) + '_' +
+             json::Num(Histogram::BinUpper(b)) + ',' + json::Num(h.bin(b)) +
              '\n';
     }
   }
@@ -141,9 +116,25 @@ std::string SerializeForPath(const MetricsRegistry& reg,
     return path.size() >= s.size() &&
            path.compare(path.size() - s.size(), s.size(), s) == 0;
   };
-  if (ends_with(".csv")) return ToCsv(reg);
-  if (ends_with(".jsonl")) return ToJsonLines(reg);
-  return ToJson(reg);
+  // File-level exports carry the producing binary's build info so a
+  // metrics file found later can always be traced to a git SHA +
+  // compiler + build type (docs/observability.md).
+  if (ends_with(".csv")) {
+    const BuildInfo& b = GetBuildInfo();
+    std::string out = "kind,name,field,value\n";
+    out += "build,git_sha,value," + b.git_sha + '\n';
+    out += "build,compiler,value," + b.compiler + '\n';
+    out += "build,build_type,value," + b.build_type + '\n';
+    out += "build,sanitizer,value," + b.sanitizer + '\n';
+    const std::string csv = ToCsv(reg);
+    return out + csv.substr(std::string("kind,name,field,value\n").size());
+  }
+  if (ends_with(".jsonl"))
+    return "{\"kind\":\"build\",\"value\":" + ToJson(GetBuildInfo()) + "}\n" +
+           ToJsonLines(reg);
+  // "build" sorts before "counters"/"gauges"/"histograms", keeping the
+  // stamped object name-sorted like every other export.
+  return "{\"build\":" + ToJson(GetBuildInfo()) + ',' + ToJson(reg).substr(1);
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {

@@ -20,15 +20,22 @@ std::string ToJson(const MetricsRegistry& reg);
 std::string ToJsonLines(const MetricsRegistry& reg);
 std::string ToCsv(const MetricsRegistry& reg);
 
+/// One histogram as the JSON object embedded in every export and ledger
+/// record: {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,
+/// "p99":..,"bins":[[lo,hi,n],...]} (min/max/quantiles omitted when
+/// empty; non-empty bins only).
+std::string HistogramToJson(const Histogram& h);
+
 /// Serialises per the file extension: .csv -> CSV, .jsonl -> JSONL,
-/// anything else -> JSON.
+/// anything else -> JSON. Unlike the raw ToJson/ToJsonLines/ToCsv, the
+/// file-level form is stamped with the producing binary's BuildInfo
+/// (git SHA, compiler, build type, sanitizer): a leading "build" object
+/// member (JSON), a {"kind":"build",...} first line (JSONL), or
+/// build,... rows after the header (CSV).
 std::string SerializeForPath(const MetricsRegistry& reg,
                              const std::string& path);
 
 /// Writes `content` to `path` (truncating). Returns false on I/O error.
 bool WriteFile(const std::string& path, const std::string& content);
-
-/// JSON string escaping for metric/sidecar labels.
-std::string JsonEscape(const std::string& s);
 
 }  // namespace irmc

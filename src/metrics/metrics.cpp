@@ -82,6 +82,56 @@ double Histogram::Mean() const {
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
+double Histogram::Quantile(double q) const {
+  IRMC_EXPECT(count_ > 0);
+  std::vector<BinSlice> slices;
+  for (int b = 0; b < kBins; ++b)
+    if (bins_[static_cast<std::size_t>(b)] > 0)
+      slices.push_back({BinLower(b), BinUpper(b),
+                        bins_[static_cast<std::size_t>(b)]});
+  return BinnedQuantile(slices, min_, max_, q);
+}
+
+namespace {
+
+/// Value estimate at integer rank `k` (0-based, ascending): the bin
+/// holding rank k spreads its samples linearly over its effective
+/// inclusive range; a single-sample bin reads the range midpoint.
+double ValueAtRank(const std::vector<BinSlice>& bins, std::int64_t min_v,
+                   std::int64_t max_v, std::int64_t k) {
+  std::int64_t cum = 0;
+  for (const BinSlice& s : bins) {
+    if (k < cum + s.count) {
+      const double lo = static_cast<double>(std::max(s.lower, min_v));
+      const double hi = static_cast<double>(std::min(s.upper - 1, max_v));
+      if (s.count == 1) return (lo + hi) / 2.0;
+      return lo + (hi - lo) * static_cast<double>(k - cum) /
+                      static_cast<double>(s.count - 1);
+    }
+    cum += s.count;
+  }
+  IRMC_EXPECT(false && "rank beyond total bin count");
+  return 0.0;
+}
+
+}  // namespace
+
+double BinnedQuantile(const std::vector<BinSlice>& bins, std::int64_t min_v,
+                      std::int64_t max_v, double q) {
+  IRMC_EXPECT(q >= 0.0 && q <= 1.0);
+  std::int64_t total = 0;
+  for (const BinSlice& s : bins) total += s.count;
+  IRMC_EXPECT(total > 0);
+  if (q <= 0.0) return static_cast<double>(min_v);
+  if (q >= 1.0) return static_cast<double>(max_v);
+  const double r = q * static_cast<double>(total - 1);
+  const auto k0 = static_cast<std::int64_t>(r);
+  const std::int64_t k1 = std::min(k0 + 1, total - 1);
+  const double v0 = ValueAtRank(bins, min_v, max_v, k0);
+  const double v1 = ValueAtRank(bins, min_v, max_v, k1);
+  return v0 + (v1 - v0) * (r - static_cast<double>(k0));
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return counters_[name];
 }

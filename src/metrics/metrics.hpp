@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace irmc {
 
@@ -67,6 +68,11 @@ class Histogram {
   double Mean() const;
   std::int64_t bin(int b) const { return bins_.at(static_cast<std::size_t>(b)); }
 
+  /// Quantile estimate from the log2 bins (see BinnedQuantile); exact at
+  /// q=0 and q=1 (returns min/max), interpolated in between. Requires
+  /// count() > 0 and q in [0,1].
+  double Quantile(double q) const;
+
   /// Bin index a value lands in.
   static int BinOf(std::int64_t v);
   /// Inclusive lower edge of a bin (0 for bin 0).
@@ -81,6 +87,30 @@ class Histogram {
   std::int64_t max_ = 0;
   std::array<std::int64_t, kBins> bins_{};
 };
+
+/// One occupied bin of a serialised histogram: [lower, upper) with
+/// `count` samples. The report layer parses ledger/sidecar JSON into
+/// this shape and derives the same quantiles the live Histogram does.
+struct BinSlice {
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;  ///< exclusive
+  std::int64_t count = 0;
+};
+
+/// Quantile estimate over binned samples — the single definition used by
+/// the live Histogram, the metrics CSV export, and the run ledger/diff
+/// layer (tests/test_metrics.cpp pins it against exact sample sets).
+///
+/// Convention (matches SampleSet::Quantile's fractional rank):
+///   r = q * (total - 1); the value at integer rank k is read from the
+///   bin holding k, with the bin's samples spread linearly over its
+///   effective inclusive range [max(lower, min_v), min(upper-1, max_v)]
+///   (a single-sample bin reads its range midpoint); fractional ranks
+///   interpolate linearly between adjacent integer ranks.
+/// `bins` must be ascending and non-overlapping with positive counts;
+/// requires a positive total count and q in [0,1].
+double BinnedQuantile(const std::vector<BinSlice>& bins, std::int64_t min_v,
+                      std::int64_t max_v, double q);
 
 /// Named metric store. Get* interns the name on first use and returns a
 /// reference that stays valid for the registry's lifetime (node-based

@@ -1,0 +1,531 @@
+#include "report/html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace irmc::report {
+namespace {
+
+// ---------------------------------------------------------------- text
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Fixed-decimal formatting for SVG coordinates and labels — stable,
+/// compact, and deterministic (no locale, no %g wobble).
+std::string F(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  std::string s(buf);
+  if (decimals > 0) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s.empty() ? "0" : s;
+}
+
+// ------------------------------------------------------------- palette
+
+/// Categorical slot (1-4) for a scheme, fixed by entity name so a scheme
+/// wears the same color in every chart of every report. Unknown names
+/// take slots in first-appearance order.
+int SchemeSlot(const std::string& scheme,
+               std::map<std::string, int>* assigned) {
+  static const std::map<std::string, int> kFixed{
+      {"uni-binomial", 1}, {"ni-kbinomial", 2},
+      {"tree-worm", 3},    {"path-worm", 4}};
+  if (const auto it = kFixed.find(scheme); it != kFixed.end())
+    return it->second;
+  const auto it = assigned->find(scheme);
+  if (it != assigned->end()) return it->second;
+  const int slot = 1 + static_cast<int>(assigned->size() % 4);
+  (*assigned)[scheme] = slot;
+  return slot;
+}
+
+/// Sequential blue ramp (light->dark) for the utilization heatmap; the
+/// same steps serve both modes (validated in references/palette.md).
+struct RampStep {
+  const char* bg;
+  bool light_text;  ///< cell value needs light ink on this step
+};
+const RampStep kRamp[] = {
+    {"#cde2fb", false}, {"#9ec5f4", false}, {"#6da7ec", false},
+    {"#3987e5", true},  {"#256abf", true},  {"#184f95", true},
+    {"#0d366b", true}};
+constexpr int kRampSteps = 7;
+
+// ---------------------------------------------------------------- axes
+
+/// 1/2/5-stepped tick spacing giving ~5 ticks from 0 to max.
+double NiceStep(double max_v) {
+  if (max_v <= 0.0) return 1.0;
+  const double raw = max_v / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double r = raw / mag;
+  if (r <= 1.0) return mag;
+  if (r <= 2.0) return 2.0 * mag;
+  if (r <= 5.0) return 5.0 * mag;
+  return 10.0 * mag;
+}
+
+struct ChartGeom {
+  double w = 640, h = 300;
+  double left = 64, right = 20, top = 14, bottom = 40;
+
+  double PlotW() const { return w - left - right; }
+  double PlotH() const { return h - top - bottom; }
+};
+
+// ---------------------------------------------------------- line chart
+
+std::string LegendHtml(const std::vector<std::string>& names,
+                       std::map<std::string, int>* slots) {
+  std::string out = "<div class=\"legend\">";
+  for (const std::string& n : names) {
+    const int slot = SchemeSlot(n, slots);
+    out += "<span class=\"key\"><span class=\"swatch s" +
+           std::to_string(slot) + "\"></span>" + HtmlEscape(n) + "</span>";
+  }
+  out += "</div>";
+  return out;
+}
+
+/// Latency-vs-x line chart: one 2px polyline per scheme with hoverable
+/// point markers (<title> tooltips), a zero-based y axis, and recessive
+/// grid. `series` columns[0] is the x label.
+std::string LineChartSvg(const SeriesData& series,
+                         std::map<std::string, int>* slots) {
+  if (series.columns.size() < 2 || series.rows.empty()) return "";
+  ChartGeom g;
+  double x_min = series.rows.front()[0], x_max = x_min, y_max = 0.0;
+  for (const auto& row : series.rows) {
+    x_min = std::min(x_min, row[0]);
+    x_max = std::max(x_max, row[0]);
+    for (std::size_t c = 1; c < row.size(); ++c)
+      y_max = std::max(y_max, row[c]);
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max <= 0.0) y_max = 1.0;
+  const double y_step = NiceStep(y_max);
+  const double y_top = std::ceil(y_max / y_step) * y_step;
+  const auto X = [&](double x) {
+    return g.left + (x - x_min) / (x_max - x_min) * g.PlotW();
+  };
+  const auto Y = [&](double y) {
+    return g.top + (1.0 - y / y_top) * g.PlotH();
+  };
+
+  std::string out = "<svg class=\"chart\" viewBox=\"0 0 " + F(g.w) + ' ' +
+                    F(g.h) + "\" role=\"img\">";
+  // Recessive grid + y tick labels.
+  for (double y = 0.0; y <= y_top + y_step / 2; y += y_step) {
+    out += "<line class=\"grid\" x1=\"" + F(g.left) + "\" y1=\"" + F(Y(y)) +
+           "\" x2=\"" + F(g.left + g.PlotW()) + "\" y2=\"" + F(Y(y)) +
+           "\"></line>";
+    out += "<text class=\"tick\" x=\"" + F(g.left - 6) + "\" y=\"" +
+           F(Y(y) + 4) + "\" text-anchor=\"end\">" + F(y, 0) + "</text>";
+  }
+  // X ticks at the data points.
+  for (const auto& row : series.rows) {
+    out += "<text class=\"tick\" x=\"" + F(X(row[0])) + "\" y=\"" +
+           F(g.top + g.PlotH() + 16) + "\" text-anchor=\"middle\">" +
+           F(row[0], 2) + "</text>";
+  }
+  // Axis labels.
+  out += "<text class=\"axis-label\" x=\"" + F(g.left + g.PlotW() / 2) +
+         "\" y=\"" + F(g.h - 6) + "\" text-anchor=\"middle\">" +
+         HtmlEscape(series.columns[0]) + "</text>";
+  out += "<text class=\"axis-label\" transform=\"rotate(-90)\" x=\"" +
+         F(-(g.top + g.PlotH() / 2)) + "\" y=\"12\" text-anchor=\"middle\">" +
+         "latency (cycles)</text>";
+  // Baseline.
+  out += "<line class=\"axis\" x1=\"" + F(g.left) + "\" y1=\"" + F(Y(0)) +
+         "\" x2=\"" + F(g.left + g.PlotW()) + "\" y2=\"" + F(Y(0)) +
+         "\"></line>";
+  // Series.
+  for (std::size_t c = 1; c < series.columns.size(); ++c) {
+    const std::string& name = series.columns[c];
+    const int slot = SchemeSlot(name, slots);
+    std::string pts;
+    for (const auto& row : series.rows) {
+      if (c >= row.size()) continue;
+      pts += F(X(row[0])) + ',' + F(Y(row[c])) + ' ';
+    }
+    out += "<polyline class=\"line s" + std::to_string(slot) +
+           "\" points=\"" + pts + "\"></polyline>";
+    for (const auto& row : series.rows) {
+      if (c >= row.size()) continue;
+      out += "<circle class=\"pt s" + std::to_string(slot) + "\" cx=\"" +
+             F(X(row[0])) + "\" cy=\"" + F(Y(row[c])) +
+             "\" r=\"3\"><title>" + HtmlEscape(name) + " · " +
+             HtmlEscape(series.columns[0]) + ' ' + F(row[0], 2) + " · " +
+             F(row[c], 1) + " cycles</title></circle>";
+    }
+  }
+  out += "</svg>";
+  return out;
+}
+
+// ----------------------------------------------------------- CDF chart
+
+/// Latency CDF per scheme from the merged log2-bin histograms, on a
+/// log2 x axis (honest for log2-binned data): step curves climbing from
+/// each histogram's min to 1.0 at its max.
+std::string CdfChartSvg(
+    const std::map<std::string, ParsedHistogram>& scheme_hists,
+    std::map<std::string, int>* slots) {
+  double v_min = 0.0, v_max = 0.0;
+  bool any = false;
+  for (const auto& [name, h] : scheme_hists) {
+    if (h.count <= 0) continue;
+    const double lo = static_cast<double>(std::max<std::int64_t>(h.min, 1));
+    const double hi = static_cast<double>(std::max<std::int64_t>(h.max, 1));
+    if (!any) {
+      v_min = lo;
+      v_max = hi;
+      any = true;
+    } else {
+      v_min = std::min(v_min, lo);
+      v_max = std::max(v_max, hi);
+    }
+  }
+  if (!any) return "";
+  const double u_min = std::floor(std::log2(v_min));
+  const double u_max = std::ceil(std::log2(std::max(v_max, v_min * 2)));
+  ChartGeom g;
+  const auto X = [&](double v) {
+    const double u = std::log2(std::max(v, 1.0));
+    return g.left + (u - u_min) / (u_max - u_min) * g.PlotW();
+  };
+  const auto Y = [&](double frac) { return g.top + (1.0 - frac) * g.PlotH(); };
+
+  std::string out = "<svg class=\"chart\" viewBox=\"0 0 " + F(g.w) + ' ' +
+                    F(g.h) + "\" role=\"img\">";
+  for (int i = 0; i <= 4; ++i) {
+    const double frac = i / 4.0;
+    out += "<line class=\"grid\" x1=\"" + F(g.left) + "\" y1=\"" + F(Y(frac)) +
+           "\" x2=\"" + F(g.left + g.PlotW()) + "\" y2=\"" + F(Y(frac)) +
+           "\"></line>";
+    out += "<text class=\"tick\" x=\"" + F(g.left - 6) + "\" y=\"" +
+           F(Y(frac) + 4) + "\" text-anchor=\"end\">" + F(frac * 100, 0) +
+           "%</text>";
+  }
+  // Power-of-two x ticks, thinned to at most 8.
+  const int span = static_cast<int>(u_max - u_min);
+  const int stride = std::max(1, (span + 7) / 8);
+  for (int u = static_cast<int>(u_min); u <= static_cast<int>(u_max);
+       u += stride) {
+    const double v = std::pow(2.0, u);
+    out += "<text class=\"tick\" x=\"" + F(X(v)) + "\" y=\"" +
+           F(g.top + g.PlotH() + 16) + "\" text-anchor=\"middle\">" +
+           F(v, 0) + "</text>";
+  }
+  out += "<text class=\"axis-label\" x=\"" + F(g.left + g.PlotW() / 2) +
+         "\" y=\"" + F(g.h - 6) +
+         "\" text-anchor=\"middle\">latency (cycles, log scale)</text>";
+  out += "<line class=\"axis\" x1=\"" + F(g.left) + "\" y1=\"" + F(Y(0)) +
+         "\" x2=\"" + F(g.left + g.PlotW()) + "\" y2=\"" + F(Y(0)) +
+         "\"></line>";
+  for (const auto& [name, h] : scheme_hists) {
+    if (h.count <= 0) continue;
+    const int slot = SchemeSlot(name, slots);
+    std::string pts = F(X(static_cast<double>(std::max<std::int64_t>(
+                          h.min, 1)))) +
+                      ',' + F(Y(0)) + ' ';
+    double prev_x = X(static_cast<double>(std::max<std::int64_t>(h.min, 1)));
+    std::int64_t cum = 0;
+    for (const BinSlice& s : h.bins) {
+      cum += s.count;
+      const double hi = static_cast<double>(
+          std::min<std::int64_t>(s.upper - 1, h.max));
+      const double frac =
+          static_cast<double>(cum) / static_cast<double>(h.count);
+      // Step: horizontal to the bin's end, then up.
+      pts += F(X(hi)) + ',' + F(Y(static_cast<double>(cum - s.count) /
+                                  static_cast<double>(h.count))) +
+             ' ';
+      pts += F(X(hi)) + ',' + F(Y(frac)) + ' ';
+      prev_x = X(hi);
+    }
+    (void)prev_x;
+    out += "<polyline class=\"line s" + std::to_string(slot) +
+           "\" points=\"" + pts + "\"><title>" + HtmlEscape(name) +
+           " · n=" + std::to_string(h.count) + " · p50 " + F(h.p50, 1) +
+           " · p95 " + F(h.p95, 1) + " · p99 " + F(h.p99, 1) +
+           "</title></polyline>";
+  }
+  out += "</svg>";
+  return out;
+}
+
+// ---------------------------------------------------------- fragments
+
+std::string SeriesTableHtml(const SeriesData& series) {
+  if (series.columns.empty()) return "";
+  std::string out = "<details><summary>data table</summary><table><thead><tr>";
+  for (const std::string& c : series.columns)
+    out += "<th>" + HtmlEscape(c) + "</th>";
+  out += "</tr></thead><tbody>";
+  for (const auto& row : series.rows) {
+    out += "<tr>";
+    for (double v : row) out += "<td>" + F(v, 3) + "</td>";
+    out += "</tr>";
+  }
+  out += "</tbody></table></details>";
+  return out;
+}
+
+std::string HeatmapHtml(const HeatmapData& hm) {
+  double vmax = 0.0;
+  for (const auto& row : hm.cells)
+    for (double v : row) vmax = std::max(vmax, v);
+  if (vmax <= 0.0) vmax = 1.0;
+  std::string out = "<h3>" + HtmlEscape(hm.title) + "</h3>";
+  out += "<table class=\"heatmap\"><thead><tr><th></th>";
+  for (const std::string& c : hm.cols) out += "<th>" + HtmlEscape(c) + "</th>";
+  out += "</tr></thead><tbody>";
+  for (std::size_t r = 0; r < hm.rows.size(); ++r) {
+    out += "<tr><th>" + HtmlEscape(hm.rows[r]) + "</th>";
+    for (std::size_t c = 0; c < hm.cols.size() && c < hm.cells[r].size();
+         ++c) {
+      const double v = hm.cells[r][c];
+      int step = static_cast<int>(v / vmax * kRampSteps);
+      step = std::clamp(step, 0, kRampSteps - 1);
+      out += "<td style=\"background:" + std::string(kRamp[step].bg) +
+             ";color:" + (kRamp[step].light_text ? "#ffffff" : "#0b0b0b") +
+             "\" title=\"" + HtmlEscape(hm.rows[r]) + " · " +
+             HtmlEscape(hm.cols[c]) + " · " + F(v, 1) + "%\">" + F(v, 1) +
+             "</td>";
+    }
+    out += "</tr>";
+  }
+  out += "</tbody></table>";
+  return out;
+}
+
+std::string DiffSectionHtml(const std::vector<RunDiff>& diffs) {
+  const DiffSummary sum = Summarize(diffs);
+  std::string out = "<section><h2>Differential analysis</h2>";
+  out += "<p class=\"meta\">" + std::to_string(sum.regressed) +
+         " regressed · " + std::to_string(sum.improved) + " improved · " +
+         std::to_string(sum.same) + " within noise · " +
+         std::to_string(sum.unpaired) + " unpaired</p>";
+  bool any = false;
+  std::string rows;
+  int emitted = 0;
+  for (const RunDiff& rd : diffs) {
+    for (const MetricDelta& d : rd.deltas) {
+      if (d.verdict == Verdict::kSame) continue;
+      if (emitted >= 400) break;
+      ++emitted;
+      any = true;
+      const char* cls = "";
+      const char* icon = "";
+      switch (d.verdict) {
+        case Verdict::kRegressed: cls = "bad"; icon = "&#9650; "; break;
+        case Verdict::kImproved: cls = "good"; icon = "&#9660; "; break;
+        default: cls = "info"; icon = ""; break;
+      }
+      rows += "<tr><td>" + HtmlEscape(rd.name) + "/" + HtmlEscape(rd.engine) +
+              "</td><td>" + HtmlEscape(d.metric) + "</td><td class=\"" + cls +
+              "\">" + icon + ToString(d.verdict) + "</td><td>" +
+              F(d.baseline, 3) + "</td><td>" + F(d.candidate, 3) +
+              "</td><td>" +
+              (std::isfinite(d.rel_change) ? F(d.rel_change * 100.0, 1) + '%'
+                                           : std::string("&#8734;")) +
+              "</td></tr>";
+    }
+  }
+  if (any) {
+    out += "<table><thead><tr><th>run</th><th>metric</th><th>verdict</th>"
+           "<th>baseline</th><th>candidate</th><th>&#916;</th></tr></thead>"
+           "<tbody>" + rows + "</tbody></table>";
+  } else {
+    out += "<p>No significant deltas.</p>";
+  }
+  out += "</section>";
+  return out;
+}
+
+std::string BlockersHtml(const std::vector<BlockerRow>& blockers,
+                         double total) {
+  std::string out = "<section><h2>Top blockers</h2>";
+  out += "<p class=\"meta\">stall cycles charged per channel (trace "
+         "blocking attribution); total " + F(total, 0) + " cycles</p>";
+  out += "<table><thead><tr><th>channel</th><th>blocked cycles</th>"
+         "<th>intervals</th><th>share</th></tr></thead><tbody>";
+  int emitted = 0;
+  for (const BlockerRow& b : blockers) {
+    if (emitted++ >= 20) break;
+    const double share = total > 0 ? b.blocked_cycles / total * 100.0 : 0.0;
+    out += "<tr><td>" + HtmlEscape(b.channel) + "</td><td>" +
+           F(b.blocked_cycles, 0) + "</td><td>" +
+           std::to_string(b.intervals) + "</td><td>" + F(share, 1) +
+           "%</td></tr>";
+  }
+  out += "</tbody></table></section>";
+  return out;
+}
+
+const char* kCss = R"css(
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --series-3: #1baf7a; --series-4: #eda100;
+  --good: #006300; --bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+    --series-3: #199e70; --series-4: #c98500;
+    --good: #0ca30c; --bad: #d03b3b;
+  }
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 17px; margin: 28px 0 8px; }
+h3 { font-size: 14px; margin: 18px 0 6px; color: var(--text-secondary); }
+section, .panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin: 16px 0;
+}
+.meta { color: var(--text-secondary); font-size: 13px; margin: 2px 0 10px; }
+.legend { margin: 6px 0; font-size: 13px; color: var(--text-secondary); }
+.legend .key { margin-right: 16px; white-space: nowrap; }
+.swatch {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 5px; vertical-align: baseline;
+}
+.swatch.s1 { background: var(--series-1); }
+.swatch.s2 { background: var(--series-2); }
+.swatch.s3 { background: var(--series-3); }
+.swatch.s4 { background: var(--series-4); }
+svg.chart { width: 100%; max-width: 720px; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.tick, .axis-label { fill: var(--muted); font-size: 11px; }
+.axis-label { fill: var(--text-secondary); }
+.line { fill: none; stroke-width: 2; }
+.line.s1 { stroke: var(--series-1); }
+.line.s2 { stroke: var(--series-2); }
+.line.s3 { stroke: var(--series-3); }
+.line.s4 { stroke: var(--series-4); }
+.pt { stroke: var(--surface-1); stroke-width: 1.5; }
+.pt.s1 { fill: var(--series-1); }
+.pt.s2 { fill: var(--series-2); }
+.pt.s3 { fill: var(--series-3); }
+.pt.s4 { fill: var(--series-4); }
+.pt:hover { r: 5; }
+table { border-collapse: collapse; font-size: 13px; margin: 8px 0; }
+th, td {
+  padding: 4px 10px; text-align: right;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+table.heatmap td { min-width: 44px; text-align: center; border-bottom: 2px solid var(--surface-1); border-right: 2px solid var(--surface-1); }
+td.good { color: var(--good); text-align: left; }
+td.bad { color: var(--bad); text-align: left; }
+td.info { color: var(--text-secondary); text-align: left; }
+details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; margin-top: 6px; }
+code { font-size: 12px; color: var(--text-secondary); }
+)css";
+
+}  // namespace
+
+std::string RenderHtmlReport(const HtmlInput& in) {
+  std::map<std::string, int> slots;
+  std::string out = "<!doctype html><html lang=\"en\"><head>";
+  out += "<meta charset=\"utf-8\">";
+  out += "<meta name=\"viewport\" content=\"width=device-width, "
+         "initial-scale=1\">";
+  out += "<title>" + HtmlEscape(in.title) + "</title>";
+  out += "<style>" + std::string(kCss) + "</style>";
+  out += "</head><body class=\"viz-root\">";
+  out += "<h1>" + HtmlEscape(in.title) + "</h1>";
+  if (!in.subtitle.empty())
+    out += "<p class=\"meta\">" + HtmlEscape(in.subtitle) + "</p>";
+
+  // Run provenance table.
+  if (!in.runs.empty()) {
+    out += "<section><h2>Recorded runs</h2><table><thead><tr>"
+           "<th>name</th><th>kind</th><th>engine</th><th>git</th>"
+           "<th>build</th><th>sanitizer</th><th>fingerprint</th>"
+           "<th>wall s</th></tr></thead><tbody>";
+    for (const LedgerRun& r : in.runs) {
+      char fp[32];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(r.fingerprint));
+      out += "<tr><td>" + HtmlEscape(r.info.name) + "</td><td>" +
+             HtmlEscape(r.info.kind) + "</td><td>" +
+             HtmlEscape(r.info.engine) + "</td><td><code>" +
+             HtmlEscape(r.build.git_sha) + "</code></td><td>" +
+             HtmlEscape(r.build.build_type) + "</td><td>" +
+             HtmlEscape(r.build.sanitizer) + "</td><td><code>" +
+             std::string(fp) + "</code></td><td>" +
+             F(r.info.wall_seconds, 2) + "</td></tr>";
+    }
+    out += "</tbody></table></section>";
+  }
+
+  // One panel per run: line chart, latency CDF, data table.
+  for (const LedgerRun& r : in.runs) {
+    out += "<div class=\"panel\"><h2>" + HtmlEscape(r.info.name) + "</h2>";
+    out += "<p class=\"meta\"><code>" + HtmlEscape(r.info.config) +
+           "</code></p>";
+    std::vector<std::string> names(r.series.columns.begin() +
+                                       (r.series.columns.empty() ? 0 : 1),
+                                   r.series.columns.end());
+    if (!names.empty()) out += LegendHtml(names, &slots);
+    out += LineChartSvg(r.series, &slots);
+    if (!r.scheme_hists.empty()) {
+      out += "<h3>latency CDF per scheme</h3>";
+      out += CdfChartSvg(r.scheme_hists, &slots);
+    }
+    out += SeriesTableHtml(r.series);
+    out += "</div>";
+  }
+
+  if (!in.heatmaps.empty()) {
+    out += "<section><h2>Link utilization</h2><p class=\"meta\">mean "
+           "per-link utilization (%) per data point, from the metric "
+           "sidecars</p>";
+    for (const HeatmapData& hm : in.heatmaps) out += HeatmapHtml(hm);
+    out += "</section>";
+  }
+
+  if (!in.diffs.empty()) out += DiffSectionHtml(in.diffs);
+  if (!in.blockers.empty())
+    out += BlockersHtml(in.blockers, in.total_blocked_cycles);
+
+  out += "</body></html>";
+  return out;
+}
+
+}  // namespace irmc::report

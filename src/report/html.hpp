@@ -1,0 +1,55 @@
+// Self-contained single-file HTML dashboard for recorded runs.
+//
+// `irmc_report html` renders one HTML document with zero external
+// references — styles inline, charts as inline SVG, hover tooltips via
+// native SVG <title> elements — so the artifact can be attached to a CI
+// run or mailed around and will render identically offline. Light and
+// dark palettes are both embedded (CSS custom properties swapped by
+// prefers-color-scheme); series colors are assigned per scheme name in
+// fixed slot order so a scheme keeps its color across every chart.
+//
+// Determinism: the renderer stamps nothing time- or machine-dependent
+// beyond what the input records carry, so equal inputs produce
+// byte-identical HTML.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/diff.hpp"
+#include "report/ledger.hpp"
+
+namespace irmc::report {
+
+/// One link-utilization heatmap: rows are schemes, columns the panel's
+/// x values, each cell the mean of that point's per-link utilization
+/// histogram (percent).
+struct HeatmapData {
+  std::string title;
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  std::vector<std::vector<double>> cells;  ///< [row][col], percent
+};
+
+/// One ranked channel from trace blocking attribution.
+struct BlockerRow {
+  std::string channel;  ///< "switch 3 port 1" / "node 7 injection"
+  double blocked_cycles = 0.0;
+  std::int64_t intervals = 0;
+};
+
+struct HtmlInput {
+  std::string title;
+  std::string subtitle;  ///< e.g. source ledger path
+  std::vector<LedgerRun> runs;
+  std::vector<RunDiff> diffs;        ///< optional (empty = no diff section)
+  std::vector<HeatmapData> heatmaps; ///< optional
+  std::vector<BlockerRow> blockers;  ///< optional, ranked
+  double total_blocked_cycles = 0.0;
+};
+
+/// Renders the complete document (<!doctype html> ... </html>).
+std::string RenderHtmlReport(const HtmlInput& in);
+
+}  // namespace irmc::report

@@ -1,0 +1,237 @@
+#include "report/ledger.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "metrics/export.hpp"
+
+namespace irmc::report {
+namespace {
+
+std::string SeriesJson(const SeriesData& series) {
+  std::string out = "{\"columns\":[";
+  for (std::size_t i = 0; i < series.columns.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json::Str(series.columns[i]);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < series.rows.size(); ++r) {
+    if (r != 0) out += ',';
+    out += '[';
+    for (std::size_t c = 0; c < series.rows[r].size(); ++c) {
+      if (c != 0) out += ',';
+      out += json::Num(series.rows[r][c]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+bool ParseHistogramValue(const json::Value& v, ParsedHistogram* out,
+                         std::string* error) {
+  if (!v.IsObject()) {
+    *error = "histogram is not an object";
+    return false;
+  }
+  out->count = static_cast<std::int64_t>(v.NumAt("count", 0));
+  out->sum = static_cast<std::int64_t>(v.NumAt("sum", 0));
+  out->min = static_cast<std::int64_t>(v.NumAt("min", 0));
+  out->max = static_cast<std::int64_t>(v.NumAt("max", 0));
+  out->p50 = v.NumAt("p50", 0.0);
+  out->p95 = v.NumAt("p95", 0.0);
+  out->p99 = v.NumAt("p99", 0.0);
+  out->bins.clear();
+  if (const json::Value* bins = v.Find("bins"); bins != nullptr) {
+    if (!bins->IsArray()) {
+      *error = "histogram bins is not an array";
+      return false;
+    }
+    for (const json::Value& b : bins->array) {
+      if (!b.IsArray() || b.array.size() != 3) {
+        *error = "histogram bin is not a [lo,hi,count] triple";
+        return false;
+      }
+      out->bins.push_back({static_cast<std::int64_t>(b.array[0].number),
+                           static_cast<std::int64_t>(b.array[1].number),
+                           static_cast<std::int64_t>(b.array[2].number)});
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseMetricsValue(const json::Value& v, ParsedMetrics* out,
+                       std::string* error) {
+  if (!v.IsObject()) {
+    *error = "metrics is not an object";
+    return false;
+  }
+  if (const json::Value* cs = v.Find("counters");
+      cs != nullptr && cs->IsObject())
+    for (const auto& [name, cv] : cs->object)
+      out->counters[name] = cv.NumberOr(0.0);
+  if (const json::Value* gs = v.Find("gauges"); gs != nullptr && gs->IsObject())
+    for (const auto& [name, gv] : gs->object)
+      out->gauges[name] = gv.NumAt("value", 0.0);
+  if (const json::Value* hs = v.Find("histograms");
+      hs != nullptr && hs->IsObject())
+    for (const auto& [name, hv] : hs->object) {
+      ParsedHistogram ph;
+      if (!ParseHistogramValue(hv, &ph, error)) return false;
+      out->histograms[name] = std::move(ph);
+    }
+  return true;
+}
+
+namespace {
+
+bool ParseRunRecord(const json::Value& v, LedgerRun* out, std::string* error) {
+  if (!v.IsObject()) {
+    *error = "record is not an object";
+    return false;
+  }
+  out->info.name = v.StrAt("name", "");
+  out->info.kind = v.StrAt("kind", "");
+  out->info.engine = v.StrAt("engine", "");
+  out->info.config = v.StrAt("config", "");
+  out->info.wall_seconds = v.NumAt("wall_seconds", 0.0);
+  out->fingerprint = 0;
+  if (const json::Value* fp = v.Find("fingerprint");
+      fp != nullptr && fp->IsString())
+    out->fingerprint = std::strtoull(fp->str.c_str(), nullptr, 16);
+  if (const json::Value* b = v.Find("build"); b != nullptr && b->IsObject()) {
+    out->build.git_sha = b->StrAt("git_sha", "unknown");
+    out->build.compiler = b->StrAt("compiler", "unknown");
+    out->build.build_type = b->StrAt("build_type", "");
+    out->build.sanitizer = b->StrAt("sanitizer", "none");
+  }
+  out->series = SeriesData{};
+  if (const json::Value* s = v.Find("series"); s != nullptr && s->IsObject()) {
+    if (const json::Value* cols = s->Find("columns");
+        cols != nullptr && cols->IsArray())
+      for (const json::Value& c : cols->array)
+        out->series.columns.push_back(c.StringOr(""));
+    if (const json::Value* rows = s->Find("rows");
+        rows != nullptr && rows->IsArray())
+      for (const json::Value& row : rows->array) {
+        if (!row.IsArray()) {
+          *error = "series row is not an array";
+          return false;
+        }
+        std::vector<double> cells;
+        for (const json::Value& cell : row.array)
+          cells.push_back(cell.NumberOr(0.0));
+        out->series.rows.push_back(std::move(cells));
+      }
+  }
+  out->metrics = ParsedMetrics{};
+  if (const json::Value* m = v.Find("metrics"); m != nullptr)
+    if (!ParseMetricsValue(*m, &out->metrics, error)) return false;
+  out->scheme_hists.clear();
+  if (const json::Value* sch = v.Find("schemes");
+      sch != nullptr && sch->IsObject())
+    for (const auto& [name, hv] : sch->object) {
+      ParsedHistogram ph;
+      if (!ParseHistogramValue(hv, &ph, error)) return false;
+      out->scheme_hists[name] = std::move(ph);
+    }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t Fingerprint(const std::string& config) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : config) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool DeterministicLedger() {
+  const char* v = std::getenv("IRMC_LEDGER_DETERMINISTIC");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+std::string RunRecordJson(
+    const RunInfo& info, const SeriesData& series,
+    const MetricsRegistry& metrics,
+    const std::map<std::string, Histogram>& scheme_hists) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(Fingerprint(info.config)));
+  std::string out = "{\"build\":" + ToJson(GetBuildInfo());
+  out += ",\"config\":" + json::Str(info.config);
+  out += ",\"engine\":" + json::Str(info.engine);
+  out += ",\"fingerprint\":\"" + std::string(fp) + '"';
+  out += ",\"kind\":" + json::Str(info.kind);
+  out += ",\"metrics\":" + irmc::ToJson(metrics);
+  out += ",\"name\":" + json::Str(info.name);
+  out += ",\"schemes\":{";
+  bool first = true;
+  for (const auto& [name, h] : scheme_hists) {
+    if (!first) out += ',';
+    first = false;
+    out += json::Str(name) + ':' + HistogramToJson(h);
+  }
+  out += "},\"series\":" + SeriesJson(series);
+  const double wall = DeterministicLedger() ? 0.0 : info.wall_seconds;
+  out += ",\"wall_seconds\":" + json::Num(wall) + "}\n";
+  return out;
+}
+
+bool AppendRecord(const std::string& path, const std::string& line) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return false;
+  out << line;
+  return static_cast<bool>(out);
+}
+
+bool ParseLedger(const std::string& text, std::vector<LedgerRun>* out,
+                 std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value v;
+    std::string err;
+    if (!json::Parse(line, &v, &err)) return fail(err);
+    LedgerRun run;
+    if (!ParseRunRecord(v, &run, &err)) return fail(err);
+    out->push_back(std::move(run));
+  }
+  return true;
+}
+
+bool LoadLedger(const std::string& path, std::vector<LedgerRun>* out,
+                std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLedger(buf.str(), out, error);
+}
+
+}  // namespace irmc::report

@@ -1,0 +1,122 @@
+// The run ledger: every bench/sweep run appended as one JSON line.
+//
+// The paper's argument is comparative (NI vs switch support under
+// varying R, switch count, message length, load), and so is the repo's
+// performance story: "measurably faster every PR" needs runs that can be
+// compared mechanically. A RunRecord captures everything a differential
+// view needs — config fingerprint, build provenance (git SHA, compiler,
+// build type, sanitizer), engine, the bench series rows, the merged
+// metrics snapshot with derived p50/p95/p99, per-scheme latency
+// histograms, and wall time — and is appended to an append-only JSONL
+// ledger (default bench-out/ledger.jsonl).
+//
+// Determinism contract: records inherit the metrics/trace contract —
+// name-sorted keys, integers exact, doubles %.17g — so a recorded sweep
+// is byte-identical for any IRMC_THREADS. The one wall-clock field
+// (wall_seconds) is zeroed when IRMC_LEDGER_DETERMINISTIC is set, which
+// is how the ctest ledger-determinism smoke and the committed CI
+// baseline keep whole files byte-comparable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/build_info.hpp"
+#include "common/json.hpp"
+#include "metrics/metrics.hpp"
+
+namespace irmc::report {
+
+/// Series rows exactly as the bench csv block prints them:
+/// columns[0] is the x-axis label, each row is [x, per-scheme values...].
+struct SeriesData {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Identity + provenance of one recorded run.
+struct RunInfo {
+  std::string name;    ///< panel title or CLI --name
+  std::string kind;    ///< "single-panel" | "load-panel" | "perf"
+  std::string engine;  ///< "vct" | "flit"
+  /// Canonical config string ("mode=single engine=vct switches=8 ...");
+  /// Fingerprint() of it pairs comparable runs in the diff layer.
+  std::string config;
+  double wall_seconds = 0.0;  ///< 0 under IRMC_LEDGER_DETERMINISTIC
+};
+
+/// FNV-1a 64 over the canonical config string.
+std::uint64_t Fingerprint(const std::string& config);
+
+/// True when IRMC_LEDGER_DETERMINISTIC is set (non-empty, not "0"):
+/// wall-clock fields are recorded as 0 so ledger files byte-compare.
+bool DeterministicLedger();
+
+/// One run serialised to a single JSON line (trailing newline included).
+/// Key order is name-sorted: build, config, engine, fingerprint, kind,
+/// metrics, name, schemes, series, wall_seconds.
+std::string RunRecordJson(
+    const RunInfo& info, const SeriesData& series,
+    const MetricsRegistry& metrics,
+    const std::map<std::string, Histogram>& scheme_hists);
+
+/// Appends `line` to the ledger at `path`, creating parent directories
+/// on demand. Returns false on I/O error.
+bool AppendRecord(const std::string& path, const std::string& line);
+
+// --------------------------------------------------------------------
+// Reader side: parsed form of a ledger, shared by diff and html.
+
+/// A histogram as serialised: summary fields + occupied bins.
+struct ParsedHistogram {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::vector<BinSlice> bins;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Same estimator as the live Histogram::Quantile (BinnedQuantile).
+  double Quantile(double q) const {
+    return count == 0 ? 0.0 : BinnedQuantile(bins, min, max, q);
+  }
+};
+
+struct ParsedMetrics {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, ParsedHistogram> histograms;
+};
+
+struct LedgerRun {
+  RunInfo info;
+  std::uint64_t fingerprint = 0;
+  BuildInfo build;
+  SeriesData series;
+  ParsedMetrics metrics;
+  std::map<std::string, ParsedHistogram> scheme_hists;
+};
+
+/// Parses ledger JSONL text (blank lines skipped). Returns false with a
+/// "line N: reason" error on the first malformed record.
+bool ParseLedger(const std::string& text, std::vector<LedgerRun>* out,
+                 std::string* error);
+
+/// Parses one serialised metrics object ({"counters":..,"gauges":..,
+/// "histograms":..}) — the shape embedded in ledger records and in the
+/// bench metric sidecars (irmc_report html reads the latter for its
+/// link-utilization heatmaps).
+bool ParseMetricsValue(const json::Value& v, ParsedMetrics* out,
+                       std::string* error);
+
+/// Reads and parses a ledger file.
+bool LoadLedger(const std::string& path, std::vector<LedgerRun>* out,
+                std::string* error);
+
+}  // namespace irmc::report

@@ -5,6 +5,8 @@
 #include <tuple>
 #include <vector>
 
+#include "common/build_info.hpp"
+
 namespace irmc {
 namespace {
 
@@ -68,6 +70,15 @@ std::string ToChromeTrace(const Tracer& tracer) {
     out += record;
   };
   char buf[kLineMax];
+
+  // Build provenance as a metadata record, so a Perfetto-loaded trace
+  // still names the producing git SHA / compiler / build type.
+  {
+    const std::string build =
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"irmc_build\",\"args\":" +
+        ToJson(GetBuildInfo()) + '}';
+    emit(build.c_str());
+  }
 
   // Metadata first: name every process (trial) and track (switch/node),
   // collected into maps so the order is deterministic.
@@ -141,7 +152,12 @@ std::string SerializeTraceForPath(const Tracer& tracer,
                                   const std::string& path) {
   const auto dot = path.rfind('.');
   const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
-  if (ext == ".jsonl") return ToJsonLines(tracer);
+  // The JSONL file form opens with a build-stamp line (the Chrome form
+  // embeds the same struct as a metadata record); ParseTraceJsonLines
+  // skips it, so round-trips are unaffected.
+  if (ext == ".jsonl")
+    return "{\"kind\":\"build\",\"value\":" + ToJson(GetBuildInfo()) + "}\n" +
+           ToJsonLines(tracer);
   return ToChromeTrace(tracer);
 }
 
@@ -156,6 +172,9 @@ bool ParseTraceJsonLines(const std::string& text, Tracer* out,
     pos = nl + 1;
     ++lineno;
     if (line.empty()) continue;
+    // Build-stamp header line (SerializeTraceForPath) — provenance, not
+    // an event.
+    if (line.rfind("{\"kind\":\"build\"", 0) == 0) continue;
 
     int trial = 0;
     long long time = 0;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "core/load_runner.hpp"
 #include "core/parallel.hpp"
 #include "core/single_runner.hpp"
@@ -172,10 +173,21 @@ TEST(Export, FormatsCoverAllKinds) {
   const std::string csv = ToCsv(reg);
   EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
 
-  EXPECT_EQ(SerializeForPath(reg, "x.csv"), csv);
-  EXPECT_EQ(SerializeForPath(reg, "x.jsonl"), jsonl);
-  EXPECT_EQ(SerializeForPath(reg, "x.json"), json);
-  EXPECT_EQ(SerializeForPath(reg, "x"), json);
+  // File-level serialisation prepends the build stamp, then carries the
+  // raw export byte-for-byte.
+  const std::string build_json = ToJson(GetBuildInfo());
+  EXPECT_EQ(SerializeForPath(reg, "x.csv"),
+            "kind,name,field,value\n"
+            "build,git_sha,value," + GetBuildInfo().git_sha + "\n"
+            "build,compiler,value," + GetBuildInfo().compiler + "\n"
+            "build,build_type,value," + GetBuildInfo().build_type + "\n"
+            "build,sanitizer,value," + GetBuildInfo().sanitizer + "\n" +
+            csv.substr(std::string("kind,name,field,value\n").size()));
+  EXPECT_EQ(SerializeForPath(reg, "x.jsonl"),
+            "{\"kind\":\"build\",\"value\":" + build_json + "}\n" + jsonl);
+  EXPECT_EQ(SerializeForPath(reg, "x.json"),
+            "{\"build\":" + build_json + ',' + json.substr(1));
+  EXPECT_EQ(SerializeForPath(reg, "x"), SerializeForPath(reg, "x.json"));
 }
 
 TEST(Export, EmptyRegistryIsStable) {
@@ -184,10 +196,6 @@ TEST(Export, EmptyRegistryIsStable) {
   EXPECT_NE(ToJson(reg).find("\"counters\":{}"), std::string::npos);
 }
 
-TEST(Export, JsonEscapeControlAndQuotes) {
-  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
-  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
-}
 
 // ---------------------------------------------------------------------
 // Determinism: metrics-enabled sweeps serialise to identical bytes for
@@ -260,6 +268,42 @@ TEST(MetricsDeterminism, CollectMetricsOffYieldsEmptyRegistry) {
   on.collect_metrics = true;
   EXPECT_EQ(RunSingleMulticast(spec).mean_latency,
             RunSingleMulticast(on).mean_latency);
+}
+
+// Pins the derived-quantile estimator (Histogram::Quantile and the
+// reader-side BinnedQuantile share it) against exact sample sets, so
+// the p50/p95/p99 columns in the metrics CSV and the ledger cannot
+// drift silently.
+TEST(Histogram, QuantilePinsExactSampleSets) {
+  // All samples equal: the [min,max] clamp pins every quantile.
+  Histogram same;
+  for (int i = 0; i < 4; ++i) same.Add(5);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) EXPECT_EQ(same.Quantile(q), 5.0);
+
+  // {1, 2, 3}: bin [1,2) holds one sample, bin [2,4) two; rank
+  // interpolation spreads the two-sample bin over [2, 3].
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_NEAR(h.Quantile(0.95), 2.9, 1e-12);
+  EXPECT_EQ(h.Quantile(1.0), 3.0);
+
+  // A single sample reads its bin midpoint, clamped to [min, max].
+  Histogram one;
+  one.Add(10);
+  EXPECT_EQ(one.Quantile(0.5), 10.0);
+
+  // The reader-side estimator agrees bin-for-bin with the live one.
+  std::vector<BinSlice> slices;
+  for (int b = 0; b < Histogram::kBins; ++b)
+    if (h.bin(b) > 0)
+      slices.push_back(
+          {Histogram::BinLower(b), Histogram::BinUpper(b), h.bin(b)});
+  for (double q : {0.25, 0.5, 0.75, 0.95})
+    EXPECT_EQ(BinnedQuantile(slices, h.min(), h.max(), q), h.Quantile(q));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "common/build_info.hpp"
 #include "core/load_runner.hpp"
 #include "core/parallel.hpp"
 #include "core/single_runner.hpp"
@@ -106,7 +107,18 @@ TEST(ChromeTrace, RingCappedTraceStillSerializes) {
 
 TEST(SerializeForPath, ExtensionSelectsFormat) {
   const Tracer tracer = SampleTrace();
-  EXPECT_EQ(SerializeTraceForPath(tracer, "run.jsonl"), ToJsonLines(tracer));
+  // The file-level JSONL form prepends the build stamp, then carries the
+  // raw export byte-for-byte (and still round-trips: the parser skips
+  // the stamp line).
+  EXPECT_EQ(SerializeTraceForPath(tracer, "run.jsonl"),
+            "{\"kind\":\"build\",\"value\":" + ToJson(GetBuildInfo()) + "}\n" +
+                ToJsonLines(tracer));
+  Tracer reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseTraceJsonLines(SerializeTraceForPath(tracer, "run.jsonl"),
+                                  &reparsed, &error))
+      << error;
+  EXPECT_EQ(ToJsonLines(reparsed), ToJsonLines(tracer));
   EXPECT_EQ(SerializeTraceForPath(tracer, "run.json"), ToChromeTrace(tracer));
   EXPECT_EQ(SerializeTraceForPath(tracer, "run.trace"), ToChromeTrace(tracer));
 }

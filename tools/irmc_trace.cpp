@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "common/build_info.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
@@ -193,6 +194,11 @@ int CmdExport(const Args& args, const Tracer& tracer) {
 
 int main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
+  if (args.VersionRequested()) {
+    std::printf("%s\n%s\n", VersionLine("irmc_trace").c_str(),
+                ToJson(GetBuildInfo()).c_str());
+    return 0;
+  }
   const std::string& cmd = args.command();
   if (cmd != "summarize" && cmd != "blockers" && cmd != "critical-path" &&
       cmd != "export")

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "common/build_info.hpp"
 #include "common/rng.hpp"
 #include "topology/fault.hpp"
 #include "topology/generator.hpp"
@@ -180,6 +181,11 @@ int RunLoaded(const std::string& path, int faults, const VerifyOpts& opts) {
 
 int main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
+  if (args.VersionRequested()) {
+    std::printf("%s\n%s\n", VersionLine("irmc_verify").c_str(),
+                ToJson(GetBuildInfo()).c_str());
+    return 0;
+  }
   if (!args.command().empty()) return Usage();
 
   const int trials = static_cast<int>(args.GetInt("trials", 20));

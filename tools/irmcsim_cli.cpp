@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/args.hpp"
+#include "common/build_info.hpp"
 #include "common/expect.hpp"
 #include "mcast/binomial.hpp"
 #include "core/executor.hpp"
@@ -346,6 +347,11 @@ int CmdTrace(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
+  if (args.VersionRequested()) {
+    std::printf("%s\n%s\n", VersionLine("irmcsim_cli").c_str(),
+                ToJson(GetBuildInfo()).c_str());
+    return 0;
+  }
   int rc;
   if (args.command() == "single")
     rc = CmdSingle(args);
