@@ -17,6 +17,7 @@
 // guard-overhead gate prints FAIL above 5% but always exits 0 — timing
 // noise on shared CI runners must not turn it into a flake.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -48,7 +49,7 @@ struct TimedRun {
   }
 };
 
-enum class Mode { kPristine, kGuarded, kFaulted };
+enum class Mode : std::uint8_t { kPristine, kGuarded, kFaulted };
 
 TimedRun TimeMode(Mode mode) {
   SingleRunSpec spec;

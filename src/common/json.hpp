@@ -52,7 +52,7 @@ inline std::string Str(const std::string& s) {
 /// Parsed JSON document. Objects keep their key order (our writers sort
 /// keys, so order-preserving storage keeps comparisons deterministic).
 struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
   bool boolean = false;

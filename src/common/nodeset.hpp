@@ -3,6 +3,14 @@
 // This is the in-memory form of the paper's "bit-string" headers and
 // reachability strings (Section 3.2.3): bit i set means node i is a
 // member. Sized at construction to the system's node count.
+//
+// Two forms:
+//  * NodeSet     — owning (worm headers, scratch sets);
+//  * NodeSetView — non-owning words+bits view. Reachability stores all
+//    of a System's strings in one word arena and hands out views, so a
+//    per-hop string lookup allocates nothing. A NodeSet converts
+//    implicitly to a view; every read-only operation takes views, so
+//    the two mix freely.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,106 @@
 #include "common/types.hpp"
 
 namespace irmc {
+
+class NodeSet;
+
+/// Non-owning view of a bitset: a word pointer and a bit count. Valid
+/// only while the owning storage (NodeSet or Reachability arena) lives.
+class NodeSetView {
+ public:
+  NodeSetView() = default;
+  NodeSetView(const std::uint64_t* words, int num_bits)
+      : words_(words), num_bits_(num_bits) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate — lets every
+  // read-only set operation accept NodeSet and view alike.
+  NodeSetView(const NodeSet& s);
+
+  int capacity() const { return num_bits_; }
+  std::size_t num_words() const {
+    return static_cast<std::size_t>((num_bits_ + 63) / 64);
+  }
+  const std::uint64_t* words() const { return words_; }
+
+  bool Test(NodeId n) const {
+    IRMC_EXPECT(n >= 0 && n < num_bits_);
+    return (words_[static_cast<std::size_t>(n) / 64] &
+            (std::uint64_t{1} << (static_cast<std::size_t>(n) % 64))) != 0;
+  }
+
+  bool Empty() const {
+    for (std::size_t i = 0; i < num_words(); ++i)
+      if (words_[i] != 0) return false;
+    return true;
+  }
+
+  int Count() const {
+    int c = 0;
+    for (std::size_t i = 0; i < num_words(); ++i)
+      c += __builtin_popcountll(words_[i]);
+    return c;
+  }
+
+  bool Intersects(NodeSetView o) const {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < num_words(); ++i)
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    return false;
+  }
+
+  bool IsSubsetOf(NodeSetView o) const {
+    CheckCompat(o);
+    for (std::size_t i = 0; i < num_words(); ++i)
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// True when every member lies in `a` or `b` — IsSubsetOf(a | b)
+  /// without materializing the union (hot in tree-worm climbing).
+  bool IsSubsetOfUnion(NodeSetView a, NodeSetView b) const {
+    CheckCompat(a);
+    CheckCompat(b);
+    for (std::size_t i = 0; i < num_words(); ++i)
+      if ((words_[i] & ~(a.words_[i] | b.words_[i])) != 0) return false;
+    return true;
+  }
+
+  bool operator==(NodeSetView o) const {
+    if (num_bits_ != o.num_bits_) return false;
+    for (std::size_t i = 0; i < num_words(); ++i)
+      if (words_[i] != o.words_[i]) return false;
+    return true;
+  }
+
+  /// Members in ascending order.
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<std::size_t>(Count()));
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(
+            static_cast<NodeId>(i * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Materializes an owning copy.
+  NodeSet ToSet() const;
+
+  /// Encoded size of the bit-string header in flits (1 flit = 1 byte).
+  int HeaderFlits() const { return (num_bits_ + 7) / 8; }
+
+ private:
+  void CheckCompat(NodeSetView o) const {
+    IRMC_EXPECT(num_bits_ == o.num_bits_);
+  }
+
+  const std::uint64_t* words_ = nullptr;
+  int num_bits_ = 0;
+};
 
 class NodeSet {
  public:
@@ -39,71 +147,46 @@ class NodeSet {
     return (words_[WordOf(n)] & BitOf(n)) != 0;
   }
 
-  bool Empty() const {
-    for (auto w : words_)
-      if (w != 0) return false;
-    return true;
-  }
+  bool Empty() const { return NodeSetView(*this).Empty(); }
+  int Count() const { return NodeSetView(*this).Count(); }
 
-  int Count() const {
-    int c = 0;
-    for (auto w : words_) c += __builtin_popcountll(w);
-    return c;
-  }
-
-  NodeSet& operator|=(const NodeSet& o) {
+  NodeSet& operator|=(NodeSetView o) {
     CheckCompat(o);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words()[i];
     return *this;
   }
 
-  NodeSet& operator&=(const NodeSet& o) {
+  NodeSet& operator&=(NodeSetView o) {
     CheckCompat(o);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words()[i];
     return *this;
   }
 
   /// Remove every member of `o` from this set.
-  NodeSet& Subtract(const NodeSet& o) {
+  NodeSet& Subtract(NodeSetView o) {
     CheckCompat(o);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~o.words()[i];
     return *this;
   }
-
-  friend NodeSet operator|(NodeSet a, const NodeSet& b) { return a |= b; }
-  friend NodeSet operator&(NodeSet a, const NodeSet& b) { return a &= b; }
 
   bool operator==(const NodeSet& o) const {
     return num_bits_ == o.num_bits_ && words_ == o.words_;
   }
 
-  bool Intersects(const NodeSet& o) const {
-    CheckCompat(o);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      if ((words_[i] & o.words_[i]) != 0) return true;
-    return false;
+  bool Intersects(NodeSetView o) const {
+    return NodeSetView(*this).Intersects(o);
   }
-
-  bool IsSubsetOf(const NodeSet& o) const {
-    CheckCompat(o);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      if ((words_[i] & ~o.words_[i]) != 0) return false;
-    return true;
+  bool IsSubsetOf(NodeSetView o) const {
+    return NodeSetView(*this).IsSubsetOf(o);
+  }
+  bool IsSubsetOfUnion(NodeSetView a, NodeSetView b) const {
+    return NodeSetView(*this).IsSubsetOfUnion(a, b);
   }
 
   /// Members in ascending order.
   std::vector<NodeId> ToVector() const {
-    std::vector<NodeId> out;
-    out.reserve(static_cast<std::size_t>(Count()));
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      std::uint64_t w = words_[i];
-      while (w != 0) {
-        const int bit = __builtin_ctzll(w);
-        out.push_back(static_cast<NodeId>(i * 64 + static_cast<std::size_t>(bit)));
-        w &= w - 1;
-      }
-    }
-    return out;
+    return NodeSetView(*this).ToVector();
   }
 
   static NodeSet FromVector(int num_nodes, const std::vector<NodeId>& v) {
@@ -115,6 +198,9 @@ class NodeSet {
   /// Encoded size of the bit-string header in flits (1 flit = 1 byte).
   int HeaderFlits() const { return (num_bits_ + 7) / 8; }
 
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t num_words() const { return words_.size(); }
+
  private:
   static std::size_t WordOf(NodeId n) {
     return static_cast<std::size_t>(n) / 64;
@@ -125,12 +211,34 @@ class NodeSet {
   void CheckIndex(NodeId n) const {
     IRMC_EXPECT(n >= 0 && n < num_bits_);
   }
-  void CheckCompat(const NodeSet& o) const {
-    IRMC_EXPECT(num_bits_ == o.num_bits_);
+  void CheckCompat(NodeSetView o) const {
+    IRMC_EXPECT(num_bits_ == o.capacity());
   }
 
   int num_bits_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+inline NodeSetView::NodeSetView(const NodeSet& s)
+    : words_(s.words()), num_bits_(s.capacity()) {}
+
+inline NodeSet NodeSetView::ToSet() const {
+  NodeSet out(num_bits_);
+  for (NodeId n : ToVector()) out.Set(n);
+  return out;
+}
+
+/// Binary set algebra over views (NodeSets convert implicitly); the
+/// result is always a fresh owning NodeSet.
+inline NodeSet operator|(NodeSetView a, NodeSetView b) {
+  NodeSet out = a.ToSet();
+  out |= b;
+  return out;
+}
+inline NodeSet operator&(NodeSetView a, NodeSetView b) {
+  NodeSet out = a.ToSet();
+  out &= b;
+  return out;
+}
 
 }  // namespace irmc

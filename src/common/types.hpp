@@ -28,7 +28,7 @@ inline constexpr PortId kInvalidPort = -1;
 
 /// The three enhanced multicasting schemes compared by the paper, plus
 /// the traditional software binomial baseline of its Section 3.1.
-enum class SchemeKind {
+enum class SchemeKind : std::uint8_t {
   kUnicastBinomial,  ///< multi-phase software multicast over unicast sends
   kNiKBinomial,      ///< smart-NI FPFS forwarding over a k-binomial tree
   kTreeWorm,         ///< single bit-string multidestination worm (switch HW)

@@ -18,7 +18,7 @@ namespace irmc {
 /// The store-and-forward alternative (wait for the whole message before
 /// forwarding anything) is what FPFS was shown to beat; bench/ablG
 /// reproduces that comparison.
-enum class NiDiscipline {
+enum class NiDiscipline : std::uint8_t {
   kFpfs,
   kMessageStoreAndForward,
 };

@@ -8,6 +8,7 @@
 #include "core/executor.hpp"
 #include "core/parallel.hpp"
 #include "core/trial.hpp"
+#include "core/trial_setup.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/system.hpp"
 
@@ -147,14 +148,12 @@ LoadRunResult RunLoadSweepPoint(const LoadRunSpec& spec) {
   // its replica.
   const auto body = [&spec](const TrialContext& ctx) {
     TrialOutcome out;
-    MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
-    Tracer* trace = nullptr;
-    if (spec.tracer != nullptr) {
-      out.trace = Tracer(spec.trace_cap);
-      out.trace.set_trial(ctx.trial_index);
-      trace = &out.trace;
-    }
-    const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed);
+    const TrialSetup setup =
+        PrepareTrial(out, ctx, spec.cfg.topology, spec.collect_metrics,
+                     spec.tracer, spec.trace_cap);
+    MetricsRegistry* reg = setup.metrics;
+    Tracer* trace = setup.tracer;
+    const auto& sys = setup.sys;
     TopologyRun run(spec, *sys,
                     spec.cfg.seed * 104729 +
                         static_cast<std::uint64_t>(ctx.trial_index),

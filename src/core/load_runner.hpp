@@ -30,7 +30,7 @@ class Tracer;
 
 /// How destination sets are drawn (the paper uses uniform; the other
 /// patterns probe locality sensitivity).
-enum class DestPattern {
+enum class DestPattern : std::uint8_t {
   kUniform,    ///< degree distinct nodes, uniform over the system
   kClustered,  ///< nodes of the switches nearest a random anchor switch
   kHotspot,    ///< a fixed popular subset receives most multicasts

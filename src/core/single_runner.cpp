@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "core/parallel.hpp"
 #include "core/trial.hpp"
+#include "core/trial_setup.hpp"
 
 namespace irmc {
 
@@ -36,16 +37,13 @@ SingleRunResult RunSingleMulticast(const SingleRunSpec& spec) {
   // and Tracer — nothing mutable crosses trial boundaries.
   const auto body = [&spec](const TrialContext& ctx) {
     TrialOutcome out;
-    MetricsRegistry* reg = spec.collect_metrics ? &out.metrics : nullptr;
-    Tracer* trace = nullptr;
-    if (spec.tracer != nullptr) {
-      out.trace = Tracer(spec.trace_cap);
-      out.trace.set_trial(ctx.trial_index);
-      trace = &out.trace;
-    }
+    const TrialSetup setup =
+        PrepareTrial(out, ctx, spec.cfg.topology, spec.collect_metrics,
+                     spec.tracer, spec.trace_cap, spec.root_policy);
+    MetricsRegistry* reg = setup.metrics;
+    Tracer* trace = setup.tracer;
     const auto scheme = MakeScheme(spec.scheme, spec.cfg.host);
-    const auto sys = System::Build(spec.cfg.topology, ctx.derived_seed,
-                                   spec.root_policy);
+    const auto& sys = setup.sys;
     Rng rng(spec.cfg.seed * 7919 +
             static_cast<std::uint64_t>(ctx.trial_index));
     for (int s = 0; s < spec.samples_per_topology; ++s) {

@@ -31,7 +31,7 @@ struct Counter {
 };
 
 /// How two gauges combine when registries merge.
-enum class GaugeMode {
+enum class GaugeMode : std::uint8_t {
   kSum,  ///< totals (merged in trial-index order -> deterministic)
   kMax,  ///< high-water marks (order-independent)
   kMin,  ///< low-water marks (order-independent)

@@ -67,7 +67,7 @@ struct NetParams {
 };
 
 /// Which engine a SimConfig selects (CLI `--engine vct|flit`).
-enum class EngineKind { kVct, kFlit };
+enum class EngineKind : std::uint8_t { kVct, kFlit };
 
 const char* ToString(EngineKind kind);
 /// Parses "vct"/"flit"; leaves `out` untouched and returns false

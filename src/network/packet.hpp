@@ -28,7 +28,7 @@
 
 namespace irmc {
 
-enum class HeaderKind { kUnicast, kTreeWorm, kPathWorm };
+enum class HeaderKind : std::uint8_t { kUnicast, kTreeWorm, kPathWorm };
 
 /// Planner-produced route for one multi-drop path worm. steps[i]
 /// describes what the worm does at the i-th switch of its path.

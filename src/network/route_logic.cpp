@@ -1,11 +1,13 @@
 #include "network/route_logic.hpp"
 
+#include <span>
+
 namespace irmc {
 namespace {
 
 /// Least-loaded port among candidates (first on ties); first candidate
 /// when adaptivity is disabled.
-PortId PickPort(SwitchId s, const std::vector<PortId>& candidates,
+PortId PickPort(SwitchId s, std::span<const PortId> candidates,
                 bool adaptive, const PortLoadFn& load) {
   IRMC_EXPECT(!candidates.empty());
   if (!adaptive) return candidates.front();
@@ -73,7 +75,7 @@ bool TryTreeDecision(const System& sys, SwitchId s, const NodeSet& rem,
   if (ups.empty()) return false;
   for (PortId p : ups) {
     const SwitchId t = sys.graph.port(s, p).peer_switch;
-    if (rem.IsSubsetOf(reach.DownCover(t) | reach.Local(t)))
+    if (rem.IsSubsetOfUnion(reach.DownCover(t), reach.Local(t)))
       decision->ports.push_back(p);
   }
   if (decision->ports.empty())

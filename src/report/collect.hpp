@@ -7,6 +7,7 @@
 // identical no matter which entry point produced a ledger record.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -20,7 +21,7 @@
 
 namespace irmc::report {
 
-enum class PanelMode { kSingle, kLoad };
+enum class PanelMode : std::uint8_t { kSingle, kLoad };
 
 /// One figure panel to run and record. The caller applies any
 /// IRMC_ENGINE override to `cfg` first (bench::WithEnvEngine).

@@ -24,7 +24,7 @@
 namespace irmc::report {
 
 /// Which way "bigger" points for a metric.
-enum class Direction {
+enum class Direction : std::uint8_t {
   kLowerIsBetter,   ///< latencies, cycles, blocking, drops
   kHigherIsBetter,  ///< throughputs, rates
   kInfo,            ///< context only (wall_seconds, counts) — never gates
@@ -34,7 +34,7 @@ enum class Direction {
 /// pattern table.
 Direction MetricDirection(const std::string& name);
 
-enum class Verdict {
+enum class Verdict : std::uint8_t {
   kSame,         ///< within threshold / inside the bootstrap CI
   kImproved,     ///< significantly better in the metric's direction
   kRegressed,    ///< significantly worse in the metric's direction

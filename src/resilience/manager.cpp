@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/expect.hpp"
+#include "topology/system_builder.hpp"
 #include "verify/deadlock.hpp"
 
 namespace irmc {
@@ -68,8 +69,8 @@ void ResilienceManager::ApplySwap(int index) {
   // which sees every fault so far — swaps in.
   if (index != last_fault_index_) return;
 
-  rebuilt_.push_back(
-      std::make_unique<System>(Graph(graphs_[static_cast<std::size_t>(index)])));
+  rebuilt_.push_back(SystemBuilder::Global().FromGraph(
+      graphs_[static_cast<std::size_t>(index)]));
   const System& sys = *rebuilt_.back();
   if (cfg_.resilience.verify_reconfig) {
     verify::DeadlockSpec spec;

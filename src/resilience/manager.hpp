@@ -92,7 +92,10 @@ class ResilienceManager {
   std::vector<TimedFault> schedule_;  ///< time-sorted, survivable
   std::vector<Graph> graphs_;         ///< graph after faults 0..i
   /// Rebuilt Systems, kept alive for the run (engines hold pointers).
-  std::vector<std::unique_ptr<System>> rebuilt_;
+  /// Shared with SystemBuilder's cache: parallel trials hitting the
+  /// same degraded graph (engine cross-checks, repeated seeds) reuse
+  /// one rebuild instead of re-deriving all tables.
+  std::vector<std::shared_ptr<const System>> rebuilt_;
   const System* current_;
 
   int pending_swaps_ = 0;

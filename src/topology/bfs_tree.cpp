@@ -1,7 +1,6 @@
 #include "topology/bfs_tree.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/expect.hpp"
 
@@ -14,14 +13,13 @@ BfsTree::BfsTree(const Graph& g, SwitchId root) : root_(root) {
   level_.assign(n, -1);
   parent_.assign(n, kInvalidSwitch);
   parent_port_.assign(n, kInvalidPort);
-  children_.assign(n, {});
 
-  std::queue<SwitchId> frontier;
+  std::vector<SwitchId> frontier;  // flat FIFO
+  frontier.reserve(n);
   level_[static_cast<std::size_t>(root_)] = 0;
-  frontier.push(root_);
-  while (!frontier.empty()) {
-    const SwitchId s = frontier.front();
-    frontier.pop();
+  frontier.push_back(root_);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const SwitchId s = frontier[head];
     // Visit neighbours in port order so the tree is deterministic.
     for (PortId p = 0; p < g.ports_per_switch(); ++p) {
       const Port& pt = g.port(s, p);
@@ -29,7 +27,7 @@ BfsTree::BfsTree(const Graph& g, SwitchId root) : root_(root) {
       const auto t = static_cast<std::size_t>(pt.peer_switch);
       if (level_[t] == -1) {
         level_[t] = level_[static_cast<std::size_t>(s)] + 1;
-        frontier.push(pt.peer_switch);
+        frontier.push_back(pt.peer_switch);
       }
     }
   }
@@ -54,10 +52,26 @@ BfsTree::BfsTree(const Graph& g, SwitchId root) : root_(root) {
     IRMC_ENSURE(best != kInvalidSwitch);
     parent_[si] = best;
     parent_port_[si] = best_port;
-    children_[static_cast<std::size_t>(best)].push_back(s);
     depth_ = std::max(depth_, level_[si]);
   }
-  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
+
+  // Children as CSR: count per parent, prefix-sum into offsets, then
+  // scatter. Scanning s ascending fills each parent's row in ascending
+  // child order, so no per-row sort is needed.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (SwitchId s = 0; s < g.num_switches(); ++s)
+    if (s != root_) ++offsets[static_cast<std::size_t>(parent_[
+        static_cast<std::size_t>(s)]) + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<SwitchId> payload(offsets.back());
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    if (s == root_) continue;
+    const auto parent = static_cast<std::size_t>(parent_[
+        static_cast<std::size_t>(s)]);
+    payload[cursor[parent]++] = s;
+  }
+  children_ = CsrArray<SwitchId>(std::move(offsets), std::move(payload));
 }
 
 }  // namespace irmc

@@ -5,10 +5,15 @@
 // the same tree centrally and deterministically: the root is the switch
 // with the lowest ID, and each switch's tree parent is its lowest-ID
 // neighbour among those one level closer to the root.
+//
+// Child lists are CSR (common/csr.hpp): one offsets+payload pair for the
+// whole tree instead of a heap row per switch.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "common/csr.hpp"
 #include "topology/graph.hpp"
 
 namespace irmc {
@@ -39,8 +44,8 @@ class BfsTree {
   }
 
   /// Tree children of `s`, ascending.
-  const std::vector<SwitchId>& Children(SwitchId s) const {
-    return children_[static_cast<std::size_t>(s)];
+  std::span<const SwitchId> Children(SwitchId s) const {
+    return children_.Row(static_cast<std::size_t>(s));
   }
 
   int depth() const { return depth_; }
@@ -51,7 +56,7 @@ class BfsTree {
   std::vector<int> level_;
   std::vector<SwitchId> parent_;
   std::vector<PortId> parent_port_;
-  std::vector<std::vector<SwitchId>> children_;
+  CsrArray<SwitchId> children_;
 };
 
 }  // namespace irmc

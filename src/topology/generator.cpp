@@ -6,13 +6,17 @@
 namespace irmc {
 namespace {
 
-/// Picks a uniformly random free port of switch s.
+/// Picks a uniformly random free port of switch s. Draws NextBelow(free
+/// count) — the same stream as indexing a materialized free-port list,
+/// so topologies are bit-identical to the list-based implementation.
 PortId RandomFreePort(const Graph& g, SwitchId s, Rng& rng) {
-  std::vector<PortId> free;
+  const int free = g.FreePortCount(s);
+  IRMC_EXPECT(free > 0);
+  auto k = rng.NextBelow(static_cast<std::uint64_t>(free));
   for (PortId p = 0; p < g.ports_per_switch(); ++p)
-    if (g.port(s, p).kind == PortKind::kFree) free.push_back(p);
-  IRMC_EXPECT(!free.empty());
-  return free[static_cast<std::size_t>(rng.NextBelow(free.size()))];
+    if (g.port(s, p).kind == PortKind::kFree && k-- == 0) return p;
+  IRMC_EXPECT(false);
+  return kInvalidPort;
 }
 
 }  // namespace
@@ -49,11 +53,13 @@ Graph GenerateTopology(const TopologySpec& spec, std::uint64_t seed) {
   std::vector<SwitchId> order;
   for (SwitchId s = 0; s < spec.num_switches; ++s) order.push_back(s);
   rng.Shuffle(order);
+  std::vector<SwitchId> candidates;
+  candidates.reserve(order.size());
   for (std::size_t i = 1; i < order.size(); ++i) {
     // Connect order[i] to a random already-connected switch with a free
     // port. One always exists: see the precondition above plus the port
     // budget check below.
-    std::vector<SwitchId> candidates;
+    candidates.clear();
     for (std::size_t j = 0; j < i; ++j)
       if (g.FreePortCount(order[j]) > 0) candidates.push_back(order[j]);
     IRMC_EXPECT(!candidates.empty());
@@ -72,8 +78,10 @@ Graph GenerateTopology(const TopologySpec& spec, std::uint64_t seed) {
       static_cast<int>(static_cast<double>(free_total) * spec.link_utilization) /
       2;
   int attempts_left = budget * 20 + 64;  // bail out of unsatisfiable picks
+  std::vector<SwitchId> with_free;
+  with_free.reserve(static_cast<std::size_t>(spec.num_switches));
   while (budget > 0 && attempts_left-- > 0) {
-    std::vector<SwitchId> with_free;
+    with_free.clear();
     for (SwitchId s = 0; s < spec.num_switches; ++s)
       if (g.FreePortCount(s) > 0) with_free.push_back(s);
     if (with_free.size() < 2) break;

@@ -5,29 +5,36 @@
 namespace irmc {
 
 Graph::Graph(int num_switches, int ports_per_switch)
-    : ports_per_switch_(ports_per_switch) {
+    : num_switches_(num_switches), ports_per_switch_(ports_per_switch) {
   IRMC_EXPECT(num_switches > 0);
   IRMC_EXPECT(ports_per_switch > 0);
-  ports_.assign(static_cast<std::size_t>(num_switches),
-                std::vector<Port>(static_cast<std::size_t>(ports_per_switch)));
-  hosts_at_.assign(static_cast<std::size_t>(num_switches), {});
+  ports_.assign(static_cast<std::size_t>(num_switches) *
+                    static_cast<std::size_t>(ports_per_switch),
+                Port{});
+  hosts_at_offsets_.assign(static_cast<std::size_t>(num_switches) + 1, 0);
 }
 
 NodeId Graph::AttachHost(SwitchId s, PortId p) {
-  auto& port = ports_[CheckSwitch(s)][CheckPort(p)];
+  auto& port = ports_[Index(s, p)];
   IRMC_EXPECT(port.kind == PortKind::kFree);
   const NodeId n = static_cast<NodeId>(hosts_.size());
   port.kind = PortKind::kHost;
   port.host = n;
   hosts_.push_back(HostAttachment{s, p});
-  hosts_at_[static_cast<std::size_t>(s)].push_back(n);
+  // Keep the CSR row of s consistent: new IDs are the largest so far, so
+  // appending at the row's end preserves ascending order. Construction
+  // only — O(switches + hosts) per attach.
+  const std::size_t si = static_cast<std::size_t>(s);
+  hosts_at_.insert(hosts_at_.begin() + hosts_at_offsets_[si + 1], n);
+  for (std::size_t i = si + 1; i < hosts_at_offsets_.size(); ++i)
+    ++hosts_at_offsets_[i];
   return n;
 }
 
 void Graph::AddLink(SwitchId a, PortId pa, SwitchId b, PortId pb) {
   IRMC_EXPECT(a != b);
-  auto& port_a = ports_[CheckSwitch(a)][CheckPort(pa)];
-  auto& port_b = ports_[CheckSwitch(b)][CheckPort(pb)];
+  auto& port_a = ports_[Index(a, pa)];
+  auto& port_b = ports_[Index(b, pb)];
   IRMC_EXPECT(port_a.kind == PortKind::kFree);
   IRMC_EXPECT(port_b.kind == PortKind::kFree);
   port_a = Port{PortKind::kSwitch, b, pb, kInvalidNode};
@@ -36,17 +43,15 @@ void Graph::AddLink(SwitchId a, PortId pa, SwitchId b, PortId pb) {
 }
 
 PortId Graph::FirstFreePort(SwitchId s) const {
-  const auto& sw = ports_[CheckSwitch(s)];
   for (PortId p = 0; p < ports_per_switch_; ++p)
-    if (sw[static_cast<std::size_t>(p)].kind == PortKind::kFree) return p;
+    if (port(s, p).kind == PortKind::kFree) return p;
   return kInvalidPort;
 }
 
 int Graph::FreePortCount(SwitchId s) const {
-  const auto& sw = ports_[CheckSwitch(s)];
   int count = 0;
-  for (const auto& port : sw)
-    if (port.kind == PortKind::kFree) ++count;
+  for (PortId p = 0; p < ports_per_switch_; ++p)
+    if (port(s, p).kind == PortKind::kFree) ++count;
   return count;
 }
 

@@ -4,8 +4,16 @@
 // port is either free, attached to a host (processing node), or wired to
 // a port of another switch by a bidirectional link. Multiple links
 // between the same pair of switches are allowed; self-links are not.
+//
+// Storage is flat: the port table is one [switch * ports + port] array
+// (every switch has the same port count, so no offsets index is needed)
+// and the per-switch host lists are a CSR offsets+payload pair kept
+// incrementally consistent by AttachHost. No per-switch heap rows — a
+// Graph is three allocations and trivially movable.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -13,7 +21,7 @@
 
 namespace irmc {
 
-enum class PortKind { kFree, kHost, kSwitch };
+enum class PortKind : std::uint8_t { kFree, kHost, kSwitch };
 
 struct Port {
   PortKind kind = PortKind::kFree;
@@ -33,12 +41,12 @@ class Graph {
  public:
   Graph(int num_switches, int ports_per_switch);
 
-  int num_switches() const { return static_cast<int>(ports_.size()); }
+  int num_switches() const { return num_switches_; }
   int ports_per_switch() const { return ports_per_switch_; }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
 
   const Port& port(SwitchId s, PortId p) const {
-    return ports_[CheckSwitch(s)][CheckPort(p)];
+    return ports_[Index(s, p)];
   }
 
   /// Where host n plugs in.
@@ -51,8 +59,11 @@ class Graph {
   SwitchId SwitchOf(NodeId n) const { return host(n).sw; }
 
   /// Hosts attached to switch s, ascending.
-  const std::vector<NodeId>& HostsAt(SwitchId s) const {
-    return hosts_at_[CheckSwitch(s)];
+  std::span<const NodeId> HostsAt(SwitchId s) const {
+    const std::size_t i = CheckSwitch(s);
+    return {hosts_at_.data() + hosts_at_offsets_[i],
+            static_cast<std::size_t>(hosts_at_offsets_[i + 1] -
+                                     hosts_at_offsets_[i])};
   }
 
   /// Attach the next host (IDs are assigned densely in call order).
@@ -80,19 +91,25 @@ class Graph {
 
  private:
   std::size_t CheckSwitch(SwitchId s) const {
-    IRMC_EXPECT(s >= 0 && s < num_switches());
+    IRMC_EXPECT(s >= 0 && s < num_switches_);
     return static_cast<std::size_t>(s);
   }
   std::size_t CheckPort(PortId p) const {
     IRMC_EXPECT(p >= 0 && p < ports_per_switch_);
     return static_cast<std::size_t>(p);
   }
+  std::size_t Index(SwitchId s, PortId p) const {
+    return CheckSwitch(s) * static_cast<std::size_t>(ports_per_switch_) +
+           CheckPort(p);
+  }
 
+  int num_switches_;
   int ports_per_switch_;
   int num_links_ = 0;
-  std::vector<std::vector<Port>> ports_;            // [switch][port]
-  std::vector<HostAttachment> hosts_;               // [node]
-  std::vector<std::vector<NodeId>> hosts_at_;       // [switch] -> nodes
+  std::vector<Port> ports_;                      // [switch * ports + port]
+  std::vector<HostAttachment> hosts_;            // [node]
+  std::vector<std::uint32_t> hosts_at_offsets_;  // [switch + 1] into hosts_at_
+  std::vector<NodeId> hosts_at_;                 // CSR payload, ascending/row
 };
 
 }  // namespace irmc

@@ -4,31 +4,47 @@
 
 namespace irmc {
 
+namespace {
+
+void SetBit(std::uint64_t* words, NodeId n) {
+  words[static_cast<std::size_t>(n) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(n) % 64);
+}
+
+void OrInto(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+}  // namespace
+
 Reachability::Reachability(const Graph& g, const UpDownOrientation& ud,
                            const RoutingTable& rt)
-    : ports_(g.ports_per_switch()) {
+    : ports_(g.ports_per_switch()), num_nodes_(g.num_hosts()) {
   const int num_switches = g.num_switches();
-  const int num_nodes = g.num_hosts();
   const auto s_count = static_cast<std::size_t>(num_switches);
+  const auto sp_count = s_count * static_cast<std::size_t>(ports_);
 
-  raw_.assign(s_count * static_cast<std::size_t>(ports_), NodeSet(num_nodes));
-  primary_.assign(s_count * static_cast<std::size_t>(ports_),
-                  NodeSet(num_nodes));
-  local_.assign(s_count, NodeSet(num_nodes));
-  down_cover_.assign(s_count, NodeSet(num_nodes));
+  words_per_set_ = static_cast<std::size_t>((num_nodes_ + 63) / 64);
+  down_cover_base_ = s_count;
+  raw_base_ = 2 * s_count;
+  primary_base_ = raw_base_ + sp_count;
+  arena_.assign((primary_base_ + sp_count) * words_per_set_, 0);
 
-  for (SwitchId s = 0; s < num_switches; ++s)
-    for (NodeId n : g.HostsAt(s)) local_[static_cast<std::size_t>(s)].Set(n);
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    std::uint64_t* local = MutableSlot(static_cast<std::size_t>(s));
+    for (NodeId n : g.HostsAt(s)) SetBit(local, n);
+  }
 
   // Raw string for down port (s,p) -> t: nodes at switches u with a
   // pure-down route t ->* u (DownDistance(t, u) >= 0), including t.
   for (SwitchId s = 0; s < num_switches; ++s) {
     for (PortId p : ud.DownPorts(s)) {
       const SwitchId t = g.port(s, p).peer_switch;
-      NodeSet& str = raw_[Idx(s, p)];
+      std::uint64_t* str = MutableSlot(raw_base_ + Idx(s, p));
       for (SwitchId u = 0; u < num_switches; ++u) {
         if (rt.DownDistance(t, u) < 0) continue;
-        str |= local_[static_cast<std::size_t>(u)];
+        OrInto(str, arena_.data() + static_cast<std::size_t>(u) * words_per_set_,
+               words_per_set_);
       }
     }
   }
@@ -37,7 +53,7 @@ Reachability::Reachability(const Graph& g, const UpDownOrientation& ud,
   // (1 + down-distance from its peer to n's switch), ties to the lowest
   // port ID.
   for (SwitchId s = 0; s < num_switches; ++s) {
-    for (NodeId n = 0; n < num_nodes; ++n) {
+    for (NodeId n = 0; n < num_nodes_; ++n) {
       const SwitchId target = g.SwitchOf(n);
       PortId best_port = kInvalidPort;
       int best_dist = 0;
@@ -51,19 +67,19 @@ Reachability::Reachability(const Graph& g, const UpDownOrientation& ud,
         }
       }
       if (best_port != kInvalidPort) {
-        primary_[Idx(s, best_port)].Set(n);
-        down_cover_[static_cast<std::size_t>(s)].Set(n);
+        SetBit(MutableSlot(primary_base_ + Idx(s, best_port)), n);
+        SetBit(MutableSlot(down_cover_base_ + static_cast<std::size_t>(s)), n);
       }
     }
   }
 
   // Invariants: primary strings are disjoint subsets of the raw strings.
   for (SwitchId s = 0; s < num_switches; ++s) {
-    NodeSet seen(num_nodes);
+    NodeSet seen(num_nodes_);
     for (PortId p : ud.DownPorts(s)) {
-      IRMC_ENSURE(primary_[Idx(s, p)].IsSubsetOf(raw_[Idx(s, p)]));
-      IRMC_ENSURE(!seen.Intersects(primary_[Idx(s, p)]));
-      seen |= primary_[Idx(s, p)];
+      IRMC_ENSURE(Primary(s, p).IsSubsetOf(Raw(s, p)));
+      IRMC_ENSURE(!seen.Intersects(Primary(s, p)));
+      seen |= Primary(s, p);
     }
   }
 }

@@ -10,8 +10,14 @@
 // (the one with the shortest down distance, lowest port ID on ties) — and
 // the switch hardware of the simulator routes worm header bits by the
 // partitioned strings. The raw strings are kept for reporting and tests.
+//
+// All strings live in one word arena (slot order: local[S], down_cover[S],
+// raw[S*P], primary[S*P], each `words_per_set_` wide); accessors return
+// NodeSetViews into it, so per-hop lookups are pointer arithmetic with no
+// allocation and the whole table is two heap blocks.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/nodeset.hpp"
@@ -29,25 +35,25 @@ class Reachability {
   /// Raw reachability string of down port p at switch s (nodes attached
   /// to switches down-reachable through that port, peer switch included).
   /// Zero set for non-down ports.
-  const NodeSet& Raw(SwitchId s, PortId p) const {
-    return raw_[Idx(s, p)];
+  NodeSetView Raw(SwitchId s, PortId p) const {
+    return Slot(raw_base_ + Idx(s, p));
   }
 
   /// Partitioned reachability: disjoint across the down ports of s.
-  const NodeSet& Primary(SwitchId s, PortId p) const {
-    return primary_[Idx(s, p)];
+  NodeSetView Primary(SwitchId s, PortId p) const {
+    return Slot(primary_base_ + Idx(s, p));
   }
 
   /// Nodes attached directly to switch s.
-  const NodeSet& Local(SwitchId s) const {
-    return local_[static_cast<std::size_t>(s)];
+  NodeSetView Local(SwitchId s) const {
+    return Slot(static_cast<std::size_t>(s));
   }
 
   /// Union of partitioned strings over all down ports of s — everything
   /// a worm can finish covering from s without further up hops
   /// (locally attached nodes NOT included).
-  const NodeSet& DownCover(SwitchId s) const {
-    return down_cover_[static_cast<std::size_t>(s)];
+  NodeSetView DownCover(SwitchId s) const {
+    return Slot(down_cover_base_ + static_cast<std::size_t>(s));
   }
 
  private:
@@ -56,11 +62,20 @@ class Reachability {
            static_cast<std::size_t>(p);
   }
 
+  NodeSetView Slot(std::size_t slot) const {
+    return {arena_.data() + slot * words_per_set_, num_nodes_};
+  }
+  std::uint64_t* MutableSlot(std::size_t slot) {
+    return arena_.data() + slot * words_per_set_;
+  }
+
   int ports_;
-  std::vector<NodeSet> raw_;      // [switch*ports + port]
-  std::vector<NodeSet> primary_;  // [switch*ports + port]
-  std::vector<NodeSet> local_;    // [switch]
-  std::vector<NodeSet> down_cover_;
+  int num_nodes_;
+  std::size_t words_per_set_;
+  std::size_t down_cover_base_;  // local_ is slot base 0
+  std::size_t raw_base_;
+  std::size_t primary_base_;
+  std::vector<std::uint64_t> arena_;
 };
 
 }  // namespace irmc

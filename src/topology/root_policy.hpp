@@ -8,11 +8,13 @@
 // segments). bench/ablE quantifies the effect.
 #pragma once
 
+#include <cstdint>
+
 #include "topology/graph.hpp"
 
 namespace irmc {
 
-enum class RootPolicy {
+enum class RootPolicy : std::uint8_t {
   kLowestId,         ///< Autonet's election result (our default)
   kMaxDegree,        ///< most switch-switch ports; ties to lower ID
   kMinEccentricity,  ///< graph centre; ties to lower ID

@@ -1,114 +1,163 @@
 #include "topology/routing_table.hpp"
 
-#include <algorithm>
-#include <queue>
-
 #include "common/expect.hpp"
 
 namespace irmc {
 
 RoutingTable::RoutingTable(const Graph& g, const UpDownOrientation& ud)
-    : graph_(g), ud_(ud), num_switches_(g.num_switches()) {
+    : num_switches_(g.num_switches()),
+      ports_per_switch_(g.ports_per_switch()) {
   const auto s_count = static_cast<std::size_t>(num_switches_);
+  const auto p_count = static_cast<std::size_t>(ports_per_switch_);
   dist_down_.assign(s_count * s_count, kInf);
   dist_any_.assign(s_count * s_count, kInf);
-  cand_up_phase_.assign(s_count * s_count, {});
-  cand_down_phase_.assign(s_count * s_count, {});
 
-  // Incoming-down adjacency: for switch u, the switches s with a down
-  // move s -> u.
-  std::vector<std::vector<SwitchId>> down_into(s_count);
+  // Flat orientation/peer mirror: everything NextPhase and IsLegalRoute
+  // need after construction, without borrowing the Graph.
+  orient_.assign(s_count * p_count, kNone);
+  peer_.assign(s_count * p_count, kInvalidSwitch);
+  for (SwitchId s = 0; s < num_switches_; ++s) {
+    for (PortId p = 0; p < ports_per_switch_; ++p) {
+      const Port& pt = g.port(s, p);
+      if (pt.kind != PortKind::kSwitch) continue;
+      orient_[PortIdx(s, p)] = ud.IsUp(s, p) ? kUp : kDown;
+      peer_[PortIdx(s, p)] = pt.peer_switch;
+    }
+  }
+
+  // Incoming-down adjacency as CSR: for switch u, the switches s with a
+  // down move s -> u. Counted then scattered — two allocations total.
+  std::vector<std::uint32_t> down_into_off(s_count + 1, 0);
   for (SwitchId s = 0; s < num_switches_; ++s)
     for (PortId p : ud.DownPorts(s))
-      down_into[static_cast<std::size_t>(g.port(s, p).peer_switch)].push_back(s);
+      ++down_into_off[static_cast<std::size_t>(g.port(s, p).peer_switch) + 1];
+  for (std::size_t i = 1; i < down_into_off.size(); ++i)
+    down_into_off[i] += down_into_off[i - 1];
+  std::vector<SwitchId> down_into(down_into_off.back());
+  {
+    std::vector<std::uint32_t> cursor(down_into_off.begin(),
+                                      down_into_off.end() - 1);
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      for (PortId p : ud.DownPorts(s))
+        down_into[cursor[static_cast<std::size_t>(
+            g.port(s, p).peer_switch)]++] = s;
+  }
+
+  // Reverse topological order of the acyclic "up" relation: process a
+  // switch only after every switch it has an up move into. Replaces the
+  // old per-destination fixpoint sweeps with one exact pass.
+  std::vector<SwitchId> up_order;
+  {
+    std::vector<int> pending(s_count, 0);  // un-processed up moves out of s
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      pending[static_cast<std::size_t>(s)] =
+          static_cast<int>(ud.UpPorts(s).size());
+    up_order.reserve(s_count);
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      if (pending[static_cast<std::size_t>(s)] == 0) up_order.push_back(s);
+    for (std::size_t head = 0; head < up_order.size(); ++head) {
+      const SwitchId t = up_order[head];
+      // Up moves into t are down moves out of t, reversed — i.e. the
+      // peers of t's down ports have an up move into t.
+      for (PortId p : ud.DownPorts(t)) {
+        const SwitchId s = g.port(t, p).peer_switch;
+        if (--pending[static_cast<std::size_t>(s)] == 0) up_order.push_back(s);
+      }
+    }
+    IRMC_ENSURE(up_order.size() == s_count);  // the up relation is acyclic
+  }
+
+  CsrBuilder<PortId> cand(s_count * s_count * 2, s_count * s_count * 2);
+  std::vector<SwitchId> frontier;  // flat FIFO, reused across dests
+  frontier.reserve(s_count);
 
   for (SwitchId dest = 0; dest < num_switches_; ++dest) {
     // dist_down: BFS from dest over reversed down edges.
     dist_down_[Idx(dest, dest)] = 0;
-    std::queue<SwitchId> frontier;
-    frontier.push(dest);
-    while (!frontier.empty()) {
-      const SwitchId u = frontier.front();
-      frontier.pop();
-      for (SwitchId s : down_into[static_cast<std::size_t>(u)]) {
+    frontier.clear();
+    frontier.push_back(dest);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const SwitchId u = frontier[head];
+      const auto begin = down_into_off[static_cast<std::size_t>(u)];
+      const auto end = down_into_off[static_cast<std::size_t>(u) + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const SwitchId s = down_into[i];
         if (dist_down_[Idx(dest, s)] == kInf) {
           dist_down_[Idx(dest, s)] = dist_down_[Idx(dest, u)] + 1;
-          frontier.push(s);
+          frontier.push_back(s);
         }
       }
     }
 
-    // dist_any: fixpoint of
-    //   dist_any[s] = min(dist_down[s], 1 + min over up moves s->t of
-    //   dist_any[t]).
-    // The up relation is acyclic so this converges in <= S sweeps.
+    // dist_any[s] = min(dist_down[s], 1 + min over up moves s->t of
+    // dist_any[t]); exact in one pass over the up-reverse-topological
+    // order (every up target of s precedes s in up_order).
     for (SwitchId s = 0; s < num_switches_; ++s)
       dist_any_[Idx(dest, s)] = dist_down_[Idx(dest, s)];
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (SwitchId s = 0; s < num_switches_; ++s) {
-        for (PortId p : ud.UpPorts(s)) {
-          const SwitchId t = g.port(s, p).peer_switch;
-          const int via = dist_any_[Idx(dest, t)];
-          if (via != kInf && via + 1 < dist_any_[Idx(dest, s)]) {
-            dist_any_[Idx(dest, s)] = via + 1;
-            changed = true;
-          }
-        }
+    for (const SwitchId s : up_order) {
+      int best = dist_any_[Idx(dest, s)];
+      for (PortId p : ud.UpPorts(s)) {
+        const int via = dist_any_[Idx(dest, g.port(s, p).peer_switch)];
+        if (via != kInf && via + 1 < best) best = via + 1;
       }
+      dist_any_[Idx(dest, s)] = best;
     }
     // Every switch must reach every other (up to root, down the tree).
     for (SwitchId s = 0; s < num_switches_; ++s)
       IRMC_ENSURE(dist_any_[Idx(dest, s)] != kInf);
 
-    // Candidate ports on shortest legal routes.
+    // Candidate ports on shortest legal routes; rows appended in
+    // (dest, here, phase) order matching Candidates()' row index.
     for (SwitchId s = 0; s < num_switches_; ++s) {
-      if (s == dest) continue;
-      auto& up_cand = cand_up_phase_[Idx(dest, s)];
-      auto& down_cand = cand_down_phase_[Idx(dest, s)];
-      const int want_any = dist_any_[Idx(dest, s)];
-      const int want_down = dist_down_[Idx(dest, s)];
-      for (PortId p = 0; p < g.ports_per_switch(); ++p) {
-        const Port& pt = g.port(s, p);
-        if (pt.kind != PortKind::kSwitch) continue;
-        const SwitchId t = pt.peer_switch;
-        if (ud.IsUp(s, p)) {
-          if (dist_any_[Idx(dest, t)] + 1 == want_any) up_cand.push_back(p);
-        } else {
-          const int dd = dist_down_[Idx(dest, t)];
-          if (dd != kInf && dd + 1 == want_any) up_cand.push_back(p);
-          if (want_down != kInf && dd != kInf && dd + 1 == want_down)
-            down_cand.push_back(p);
+      cand.BeginRow();  // up-allowed phase
+      if (s != dest) {
+        const int want_any = dist_any_[Idx(dest, s)];
+        for (PortId p = 0; p < ports_per_switch_; ++p) {
+          const char o = orient_[PortIdx(s, p)];
+          if (o == kNone) continue;
+          const SwitchId t = peer_[PortIdx(s, p)];
+          if (o == kUp) {
+            if (dist_any_[Idx(dest, t)] + 1 == want_any) cand.Append(p);
+          } else {
+            const int dd = dist_down_[Idx(dest, t)];
+            if (dd != kInf && dd + 1 == want_any) cand.Append(p);
+          }
         }
       }
-      IRMC_ENSURE(!up_cand.empty());
-      // down_cand may legitimately be empty when s cannot down-reach
-      // dest; a packet in kDownOnly phase never finds itself at such a
-      // switch (its previous hop followed the table).
+      cand.BeginRow();  // down-only phase
+      if (s != dest) {
+        const int want_down = dist_down_[Idx(dest, s)];
+        if (want_down != kInf) {
+          for (PortId p = 0; p < ports_per_switch_; ++p) {
+            if (orient_[PortIdx(s, p)] != kDown) continue;
+            const int dd = dist_down_[Idx(dest, peer_[PortIdx(s, p)])];
+            if (dd != kInf && dd + 1 == want_down) cand.Append(p);
+          }
+        }
+      }
+      // down-phase rows may legitimately be empty when s cannot
+      // down-reach dest; a packet in kDownOnly phase never finds itself
+      // at such a switch (its previous hop followed the table).
     }
   }
-}
-
-const std::vector<PortId>& RoutingTable::Candidates(SwitchId here,
-                                                    SwitchId dest,
-                                                    RoutePhase phase) const {
-  if (here == dest) return empty_;
-  const auto& cand = phase == RoutePhase::kUpAllowed
-                         ? cand_up_phase_[Idx(dest, here)]
-                         : cand_down_phase_[Idx(dest, here)];
-  return cand;
+  cand_ = cand.Finish();
+  for (SwitchId dest = 0; dest < num_switches_; ++dest)
+    for (SwitchId s = 0; s < num_switches_; ++s)
+      IRMC_ENSURE(s == dest ||
+                  !Candidates(s, dest, RoutePhase::kUpAllowed).empty());
 }
 
 RoutePhase RoutingTable::NextPhase(SwitchId here, PortId port,
                                    RoutePhase phase) const {
-  IRMC_EXPECT(graph_.port(here, port).kind == PortKind::kSwitch);
+  IRMC_EXPECT(here >= 0 && here < num_switches_ && port >= 0 &&
+              port < ports_per_switch_);
+  const char o = orient_[PortIdx(here, port)];
+  IRMC_EXPECT(o != kNone);  // host/free ports have no next phase
   if (phase == RoutePhase::kDownOnly) {
-    IRMC_EXPECT(ud_.IsDown(here, port));
+    IRMC_EXPECT(o == kDown);
     return RoutePhase::kDownOnly;
   }
-  return ud_.IsUp(here, port) ? RoutePhase::kUpAllowed
-                              : RoutePhase::kDownOnly;
+  return o == kUp ? RoutePhase::kUpAllowed : RoutePhase::kDownOnly;
 }
 
 bool RoutingTable::IsLegalRoute(SwitchId start,
@@ -116,13 +165,13 @@ bool RoutingTable::IsLegalRoute(SwitchId start,
   SwitchId here = start;
   bool gone_down = false;
   for (PortId p : hops) {
-    if (p < 0 || p >= graph_.ports_per_switch()) return false;
-    const Port& pt = graph_.port(here, p);
-    if (pt.kind != PortKind::kSwitch) return false;
-    const bool up = ud_.IsUp(here, p);
+    if (p < 0 || p >= ports_per_switch_) return false;
+    const char o = orient_[PortIdx(here, p)];
+    if (o == kNone) return false;
+    const bool up = o == kUp;
     if (up && gone_down) return false;
     if (!up) gone_down = true;
-    here = pt.peer_switch;
+    here = peer_[PortIdx(here, p)];
   }
   return true;
 }

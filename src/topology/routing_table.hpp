@@ -11,16 +11,24 @@
 //
 // At simulation time the switch picks adaptively among the candidates
 // (shortest output queue); a deterministic mode always takes the first.
+//
+// Candidate sets are one CSR arena (common/csr.hpp): row index
+// (dest*S + here)*2 + phase, so the per-hop Candidates() lookup is two
+// loads into contiguous storage. The table keeps its own flat copy of
+// the port orientations/peers it needs for NextPhase/IsLegalRoute —
+// no references into sibling System members, so a System is movable.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "common/csr.hpp"
 #include "topology/graph.hpp"
 #include "topology/updown.hpp"
 
 namespace irmc {
 
-enum class RoutePhase { kUpAllowed, kDownOnly };
+enum class RoutePhase : std::uint8_t { kUpAllowed, kDownOnly };
 
 class RoutingTable {
  public:
@@ -41,8 +49,12 @@ class RoutingTable {
   /// Candidate output ports at `here` for a packet headed to switch
   /// `dest` in the given phase, restricted to shortest legal routes.
   /// Empty only if here == dest (deliver locally).
-  const std::vector<PortId>& Candidates(SwitchId here, SwitchId dest,
-                                        RoutePhase phase) const;
+  std::span<const PortId> Candidates(SwitchId here, SwitchId dest,
+                                     RoutePhase phase) const {
+    if (here == dest) return {};
+    return cand_.Row(Idx(dest, here) * 2 +
+                     (phase == RoutePhase::kDownOnly ? 1 : 0));
+  }
 
   /// Resulting phase after leaving `here` through `port` (down moves
   /// latch kDownOnly).
@@ -58,20 +70,28 @@ class RoutingTable {
  private:
   static constexpr int kInf = 1 << 28;
 
+  /// Private copy of a port's orientation (kNone = not a switch port),
+  /// mirroring UpDownOrientation at construction time.
+  enum : char { kNone = 0, kUp = 1, kDown = 2 };
+
   std::size_t Idx(SwitchId dest, SwitchId here) const {
     return static_cast<std::size_t>(dest) *
                static_cast<std::size_t>(num_switches_) +
            static_cast<std::size_t>(here);
   }
+  std::size_t PortIdx(SwitchId s, PortId p) const {
+    return static_cast<std::size_t>(s) *
+               static_cast<std::size_t>(ports_per_switch_) +
+           static_cast<std::size_t>(p);
+  }
 
-  const Graph& graph_;
-  const UpDownOrientation& ud_;
   int num_switches_;
+  int ports_per_switch_;
   std::vector<int> dist_down_;  // [dest][here]
   std::vector<int> dist_any_;   // [dest][here]
-  std::vector<std::vector<PortId>> cand_up_phase_;    // [dest*S + here]
-  std::vector<std::vector<PortId>> cand_down_phase_;  // [dest*S + here]
-  std::vector<PortId> empty_;
+  CsrArray<PortId> cand_;       // [(dest*S + here)*2 + phase]
+  std::vector<char> orient_;    // [here*P + port]
+  std::vector<SwitchId> peer_;  // [here*P + port]; kInvalidSwitch if none
 };
 
 }  // namespace irmc

@@ -1,9 +1,10 @@
 // Bundle of everything derived from one topology: graph, BFS tree,
 // up/down orientation, routing tables, reachability strings.
 //
-// RoutingTable and Reachability hold references into sibling members, so
-// a System is immovable; create it with Build() and keep it alive for the
-// duration of a simulation.
+// Every member owns flat storage (CSR arrays / word arenas) and keeps no
+// references into its siblings, so a System is freely movable. Build()
+// always constructs a fresh instance; SystemBuilder (system_builder.hpp)
+// adds a keyed cache for callers that rebuild the same topology.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +36,8 @@ struct System {
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
+  System(System&&) = default;
+  System& operator=(System&&) = default;
 
   static std::unique_ptr<System> Build(
       const TopologySpec& spec, std::uint64_t seed,

@@ -1,0 +1,159 @@
+#include "topology/system_builder.hpp"
+
+#include <bit>
+
+namespace irmc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void Mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+bool GraphsEqual(const Graph& a, const Graph& b) {
+  if (a.num_switches() != b.num_switches() ||
+      a.ports_per_switch() != b.ports_per_switch() ||
+      a.num_hosts() != b.num_hosts()) {
+    return false;
+  }
+  for (SwitchId s = 0; s < a.num_switches(); ++s) {
+    for (PortId p = 0; p < a.ports_per_switch(); ++p) {
+      const Port& pa = a.port(s, p);
+      const Port& pb = b.port(s, p);
+      if (pa.kind != pb.kind || pa.peer_switch != pb.peer_switch ||
+          pa.peer_port != pb.peer_port || pa.host != pb.host) {
+        return false;
+      }
+    }
+  }
+  for (NodeId n = 0; n < a.num_hosts(); ++n) {
+    if (a.host(n).sw != b.host(n).sw || a.host(n).port != b.host(n).port)
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t FingerprintGraph(const Graph& g, RootPolicy root_policy) {
+  std::uint64_t h = kFnvOffset;
+  Mix(h, 0x67726170);  // domain tag: graph-keyed entry
+  Mix(h, static_cast<std::uint64_t>(g.num_switches()));
+  Mix(h, static_cast<std::uint64_t>(g.ports_per_switch()));
+  Mix(h, static_cast<std::uint64_t>(g.num_hosts()));
+  Mix(h, static_cast<std::uint64_t>(root_policy));
+  for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    for (PortId p = 0; p < g.ports_per_switch(); ++p) {
+      const Port& pt = g.port(s, p);
+      Mix(h, static_cast<std::uint64_t>(pt.kind));
+      Mix(h, static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(pt.peer_switch)));
+      Mix(h,
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(pt.peer_port)));
+      Mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(pt.host)));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+SystemBuilder::SystemBuilder(std::size_t capacity) : capacity_(capacity) {}
+
+SystemBuilder& SystemBuilder::Global() {
+  static SystemBuilder instance;
+  return instance;
+}
+
+std::shared_ptr<const System> SystemBuilder::LookupLocked(
+    std::uint64_t fingerprint, const SpecKey* spec_key, const Graph* graph,
+    RootPolicy root_policy) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fingerprint != fingerprint) continue;
+    if (spec_key != nullptr) {
+      if (!it->has_spec_key || !(it->spec_key == *spec_key)) continue;
+    } else {
+      if (it->has_spec_key || it->root_policy != root_policy ||
+          !GraphsEqual(it->sys->graph, *graph)) {
+        continue;
+      }
+    }
+    entries_.splice(entries_.begin(), entries_, it);
+    ++stats_.hits;
+    return entries_.front().sys;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void SystemBuilder::InsertLocked(Entry entry) {
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::shared_ptr<const System> SystemBuilder::Build(const TopologySpec& spec,
+                                                   std::uint64_t seed,
+                                                   RootPolicy root_policy) {
+  const SpecKey key{spec.num_switches,
+                    spec.ports_per_switch,
+                    spec.num_hosts,
+                    std::bit_cast<std::uint64_t>(spec.link_utilization),
+                    spec.allow_parallel_links,
+                    seed,
+                    root_policy};
+  std::uint64_t h = kFnvOffset;
+  Mix(h, 0x73706563);  // domain tag: spec-keyed entry
+  Mix(h, static_cast<std::uint64_t>(key.num_switches));
+  Mix(h, static_cast<std::uint64_t>(key.ports_per_switch));
+  Mix(h, static_cast<std::uint64_t>(key.num_hosts));
+  Mix(h, key.link_utilization_bits);
+  Mix(h, key.allow_parallel_links ? 1 : 0);
+  Mix(h, key.seed);
+  Mix(h, static_cast<std::uint64_t>(key.root_policy));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = LookupLocked(h, &key, nullptr, root_policy)) return hit;
+  }
+  // Construct outside the lock; concurrent misses on the same key build
+  // twice and the second insert wins — wasteful but correct, and rare.
+  auto sys = std::make_shared<const System>(GenerateTopology(spec, seed),
+                                            root_policy);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(Entry{h, true, key, root_policy, sys});
+  return sys;
+}
+
+std::shared_ptr<const System> SystemBuilder::FromGraph(
+    const Graph& graph, RootPolicy root_policy) {
+  const std::uint64_t h = FingerprintGraph(graph, root_policy);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = LookupLocked(h, nullptr, &graph, root_policy)) return hit;
+  }
+  auto sys = std::make_shared<const System>(Graph(graph), root_policy);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(Entry{h, false, SpecKey{}, root_policy, sys});
+  return sys;
+}
+
+SystemBuilder::Stats SystemBuilder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SystemBuilder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t SystemBuilder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace irmc

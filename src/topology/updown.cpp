@@ -8,10 +8,12 @@ UpDownOrientation::UpDownOrientation(const Graph& g, const BfsTree& tree)
     : ports_(g.ports_per_switch()) {
   const auto n = static_cast<std::size_t>(g.num_switches());
   orientation_.assign(n * static_cast<std::size_t>(ports_), kNone);
-  up_ports_.assign(n, {});
-  down_ports_.assign(n, {});
+  CsrBuilder<PortId> up_builder(n, n);
+  CsrBuilder<PortId> down_builder(n, n * 2);
 
   for (SwitchId s = 0; s < g.num_switches(); ++s) {
+    up_builder.BeginRow();
+    down_builder.BeginRow();
     for (PortId p = 0; p < ports_; ++p) {
       const Port& pt = g.port(s, p);
       if (pt.kind != PortKind::kSwitch) continue;
@@ -22,17 +24,19 @@ UpDownOrientation::UpDownOrientation(const Graph& g, const BfsTree& tree)
       const bool up = (lt < ls) || (lt == ls && t < s);
       orientation_[Index(s, p)] = up ? kUp : kDown;
       if (up)
-        up_ports_[static_cast<std::size_t>(s)].push_back(p);
+        up_builder.Append(p);
       else
-        down_ports_[static_cast<std::size_t>(s)].push_back(p);
+        down_builder.Append(p);
     }
   }
+  up_ports_ = up_builder.Finish();
+  down_ports_ = down_builder.Finish();
 
   // Sanity: the root has no up ports; every other switch has at least one.
-  IRMC_ENSURE(up_ports_[static_cast<std::size_t>(tree.root())].empty());
+  IRMC_ENSURE(UpPorts(tree.root()).empty());
   for (SwitchId s = 0; s < g.num_switches(); ++s) {
     if (s == tree.root()) continue;
-    IRMC_ENSURE(!up_ports_[static_cast<std::size_t>(s)].empty());
+    IRMC_ENSURE(!UpPorts(s).empty());
   }
 }
 

@@ -5,10 +5,15 @@
 // are at the same level. The resulting directed "up" links form no
 // loops, and a legal route traverses zero or more up links followed by
 // zero or more down links (the up*/down* rule).
+//
+// Per-switch up/down port lists are CSR (common/csr.hpp): two
+// offsets+payload pairs for the whole orientation.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "common/csr.hpp"
 #include "common/expect.hpp"
 #include "topology/bfs_tree.hpp"
 #include "topology/graph.hpp"
@@ -29,11 +34,11 @@ class UpDownOrientation {
   bool IsDown(SwitchId s, PortId p) const { return !IsUp(s, p); }
 
   /// Ports of s whose traversal is an up (resp. down) move, ascending.
-  const std::vector<PortId>& UpPorts(SwitchId s) const {
-    return up_ports_[static_cast<std::size_t>(s)];
+  std::span<const PortId> UpPorts(SwitchId s) const {
+    return up_ports_.Row(static_cast<std::size_t>(s));
   }
-  const std::vector<PortId>& DownPorts(SwitchId s) const {
-    return down_ports_[static_cast<std::size_t>(s)];
+  std::span<const PortId> DownPorts(SwitchId s) const {
+    return down_ports_.Row(static_cast<std::size_t>(s));
   }
 
  private:
@@ -57,8 +62,8 @@ class UpDownOrientation {
 
   int ports_;
   std::vector<char> orientation_;
-  std::vector<std::vector<PortId>> up_ports_;
-  std::vector<std::vector<PortId>> down_ports_;
+  CsrArray<PortId> up_ports_;
+  CsrArray<PortId> down_ports_;
 };
 
 }  // namespace irmc

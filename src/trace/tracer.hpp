@@ -29,7 +29,7 @@
 
 namespace irmc {
 
-enum class TraceKind {
+enum class TraceKind : std::uint8_t {
   kSendStart,      ///< host begins a message send (actor = node)
   kInject,         ///< packet queued on an injection channel (actor = node)
   kHeadArrive,     ///< worm head reaches a switch input (actor = switch)

@@ -46,6 +46,7 @@
 // harness in the same test (ctest `deadlock_soundness_smoke`).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -62,7 +63,7 @@ namespace irmc::verify {
 
 /// Routing-mode axis of the analysis: deterministic routing follows
 /// only the first candidate port, adaptive may follow any of them.
-enum class RoutingMode { kDeterministic, kAdaptive };
+enum class RoutingMode : std::uint8_t { kDeterministic, kAdaptive };
 
 constexpr const char* ToString(RoutingMode mode) {
   return mode == RoutingMode::kDeterministic ? "deterministic" : "adaptive";
@@ -88,7 +89,7 @@ struct ChannelRef {
   bool to_host = false;
 };
 
-enum class DepKind { kRoute, kAbsorption, kCoupling };
+enum class DepKind : std::uint8_t { kRoute, kAbsorption, kCoupling };
 
 constexpr const char* ToString(DepKind kind) {
   switch (kind) {

@@ -119,14 +119,17 @@ bool IsSwitchPort(const Graph& g, SwitchId s, PortId p) {
 RoutingView ViewOf(const RoutingTable& rt) {
   // The view borrows rt; keep the System alive while checking.
   return RoutingView{[&rt](SwitchId here, SwitchId dest, RoutePhase phase) {
-    return rt.Candidates(here, dest, phase);
+    const auto cand = rt.Candidates(here, dest, phase);
+    return std::vector<PortId>(cand.begin(), cand.end());
   }};
 }
 
 ReachabilityView ViewOf(const Reachability& reach) {
   return ReachabilityView{
-      [&reach](SwitchId sw, PortId port) { return reach.Raw(sw, port); },
-      [&reach](SwitchId sw, PortId port) { return reach.Primary(sw, port); }};
+      [&reach](SwitchId sw, PortId port) { return reach.Raw(sw, port).ToSet(); },
+      [&reach](SwitchId sw, PortId port) {
+        return reach.Primary(sw, port).ToSet();
+      }};
 }
 
 CheckResult CheckGraphConsistency(const Graph& g) {

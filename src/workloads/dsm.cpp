@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "core/executor.hpp"
 #include "core/trial.hpp"
+#include "core/trial_setup.hpp"
 #include "mcast/scheme.hpp"
 #include "topology/system.hpp"
 
@@ -154,15 +155,12 @@ DsmResult RunDsmInvalidation(const SimConfig& cfg, SchemeKind scheme,
   TrialOutcome merged = RunTrials(
       cfg, params.topologies, [&](const TrialContext& ctx) {
         TrialOutcome out;
-        MetricsRegistry* reg =
-            params.collect_metrics ? &out.metrics : nullptr;
-        Tracer* trace = nullptr;
-        if (params.tracer != nullptr) {
-          out.trace = Tracer(params.trace_cap);
-          out.trace.set_trial(ctx.trial_index);
-          trace = &out.trace;
-        }
-        const auto sys = System::Build(cfg.topology, ctx.derived_seed);
+        const TrialSetup setup =
+            PrepareTrial(out, ctx, cfg.topology, params.collect_metrics,
+                         params.tracer, params.trace_cap);
+        MetricsRegistry* reg = setup.metrics;
+        Tracer* trace = setup.tracer;
+        const auto& sys = setup.sys;
         DsmRun run(cfg, scheme, params, *sys,
                    cfg.seed * 6151 +
                        static_cast<std::uint64_t>(ctx.trial_index),

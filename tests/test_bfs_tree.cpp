@@ -37,8 +37,10 @@ TEST(BfsTree, ParentsOneLevelUp) {
   const BfsTree t(g);
   EXPECT_EQ(t.Parent(1), 0);
   EXPECT_EQ(t.Parent(2), 1);
-  EXPECT_EQ(t.Children(0), (std::vector<SwitchId>{1}));
-  EXPECT_EQ(t.Children(1), (std::vector<SwitchId>{2}));
+  EXPECT_EQ(std::vector<SwitchId>(t.Children(0).begin(), t.Children(0).end()),
+            (std::vector<SwitchId>{1}));
+  EXPECT_EQ(std::vector<SwitchId>(t.Children(1).begin(), t.Children(1).end()),
+            (std::vector<SwitchId>{2}));
 }
 
 TEST(BfsTree, LowestIdParentOnTies) {

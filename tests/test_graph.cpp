@@ -23,7 +23,8 @@ TEST(Graph, AttachHostAssignsDenseIds) {
   EXPECT_EQ(g.SwitchOf(0), 0);
   EXPECT_EQ(g.SwitchOf(1), 1);
   EXPECT_EQ(g.host(2).port, 3);
-  EXPECT_EQ(g.HostsAt(0), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(std::vector<NodeId>(g.HostsAt(0).begin(), g.HostsAt(0).end()),
+            (std::vector<NodeId>{0, 2}));
   EXPECT_EQ(g.port(1, 2).kind, PortKind::kHost);
   EXPECT_EQ(g.port(1, 2).host, 1);
 }

@@ -20,8 +20,10 @@ class ReachSweep : public ::testing::TestWithParam<std::uint64_t> {
 
 TEST_P(ReachSweep, LocalSetsMatchAttachments) {
   for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
-    const NodeSet& local = sys_->reach.Local(s);
-    EXPECT_EQ(local.ToVector(), sys_->graph.HostsAt(s));
+    const NodeSetView local = sys_->reach.Local(s);
+    const auto hosts = sys_->graph.HostsAt(s);
+    EXPECT_EQ(local.ToVector(),
+              std::vector<NodeId>(hosts.begin(), hosts.end()));
   }
 }
 
@@ -30,7 +32,7 @@ TEST_P(ReachSweep, RawStringsMatchDownDistances) {
   for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
     for (PortId p : sys_->updown.DownPorts(s)) {
       const SwitchId t = g.port(s, p).peer_switch;
-      const NodeSet& raw = sys_->reach.Raw(s, p);
+      const NodeSetView raw = sys_->reach.Raw(s, p);
       for (NodeId n = 0; n < sys_->num_nodes(); ++n) {
         const bool reachable =
             sys_->routing.DownDistance(t, g.SwitchOf(n)) >= 0;
@@ -48,7 +50,7 @@ TEST_P(ReachSweep, PrimaryStringsPartitionDownCover) {
   for (SwitchId s = 0; s < sys_->num_switches(); ++s) {
     NodeSet unioned(sys_->num_nodes());
     for (PortId p : sys_->updown.DownPorts(s)) {
-      const NodeSet& prim = sys_->reach.Primary(s, p);
+      const NodeSetView prim = sys_->reach.Primary(s, p);
       EXPECT_TRUE(prim.IsSubsetOf(sys_->reach.Raw(s, p)));
       EXPECT_FALSE(unioned.Intersects(prim));  // disjoint
       unioned |= prim;

@@ -182,7 +182,7 @@ TEST_F(VerifyMutation, RawStringOverCoverageIsFlagged) {
   NodeId phantom = kInvalidNode;
   for (SwitchId s = 0; s < sys_.graph.num_switches() && phantom < 0; ++s) {
     for (PortId p : sys_.updown.DownPorts(s)) {
-      const NodeSet& raw = sys_.reach.Raw(s, p);
+      const NodeSetView raw = sys_.reach.Raw(s, p);
       for (NodeId n = 0; n < sys_.graph.num_hosts(); ++n) {
         if (!raw.Test(n)) {
           mut_sw = s;
@@ -217,7 +217,7 @@ TEST_F(VerifyMutation, RawStringUnderCoverageIsFlagged) {
   NodeId dropped = kInvalidNode;
   for (SwitchId s = 0; s < sys_.graph.num_switches() && dropped < 0; ++s) {
     for (PortId p : sys_.updown.DownPorts(s)) {
-      const NodeSet& raw = sys_.reach.Raw(s, p);
+      const NodeSetView raw = sys_.reach.Raw(s, p);
       if (raw.Empty()) continue;
       mut_sw = s;
       mut_port = p;
@@ -250,7 +250,7 @@ TEST_F(VerifyMutation, PartitionOverlapIsFlagged) {
   for (SwitchId s = 0; s < sys_.graph.num_switches() && node < 0; ++s) {
     const auto& downs = sys_.updown.DownPorts(s);
     for (std::size_t i = 0; i + 1 < downs.size(); ++i) {
-      const NodeSet& primary = sys_.reach.Primary(s, downs[i]);
+      const NodeSetView primary = sys_.reach.Primary(s, downs[i]);
       if (primary.Empty()) continue;
       mut_sw = s;
       second_owner = downs[i + 1];
@@ -283,7 +283,7 @@ TEST_F(VerifyMutation, PartitionGapIsFlagged) {
   NodeId node = kInvalidNode;
   for (SwitchId s = 0; s < sys_.graph.num_switches() && node < 0; ++s) {
     for (PortId p : sys_.updown.DownPorts(s)) {
-      const NodeSet& primary = sys_.reach.Primary(s, p);
+      const NodeSetView primary = sys_.reach.Primary(s, p);
       if (primary.Empty()) continue;
       mut_sw = s;
       owner = p;
